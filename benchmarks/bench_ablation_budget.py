@@ -1,0 +1,16 @@
+"""Ablation: Space-budget sweep (paper: unlimited budgets helped only sometimes).
+
+Runs at a reduced scale (REPRO_ABLATION_SCALE, default 0.25).
+"""
+
+from repro.bench import ablations
+
+
+def test_ablation_budget(benchmark, save_result):
+    result = benchmark.pedantic(
+        ablations.ablation_budget,
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+    assert result.text.strip()

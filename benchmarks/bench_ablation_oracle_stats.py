@@ -1,0 +1,16 @@
+"""Ablation: Oracle vs degraded what-if statistics (Section 5 mechanism).
+
+Runs at a reduced scale (REPRO_ABLATION_SCALE, default 0.25).
+"""
+
+from repro.bench import ablations
+
+
+def test_ablation_oracle_statistics(benchmark, save_result):
+    result = benchmark.pedantic(
+        ablations.ablation_oracle_statistics,
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+    assert result.text.strip()

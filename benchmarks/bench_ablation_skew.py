@@ -1,0 +1,16 @@
+"""Ablation: Zipf-factor sweep generalizing Figures 8 vs 9.
+
+Runs at a reduced scale (REPRO_ABLATION_SCALE, default 0.25).
+"""
+
+from repro.bench import ablations
+
+
+def test_ablation_skew(benchmark, save_result):
+    result = benchmark.pedantic(
+        ablations.ablation_skew,
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+    assert result.text.strip()

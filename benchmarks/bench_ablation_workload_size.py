@@ -1,0 +1,16 @@
+"""Ablation: System A bail-out threshold vs workload size (Section 4.1.2).
+
+Runs at a reduced scale (REPRO_ABLATION_SCALE, default 0.25).
+"""
+
+from repro.bench import ablations
+
+
+def test_ablation_workload_size(benchmark, save_result):
+    result = benchmark.pedantic(
+        ablations.ablation_workload_size,
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+    assert result.text.strip()

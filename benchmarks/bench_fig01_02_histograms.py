@@ -1,0 +1,18 @@
+"""Figures 1-2: elapsed-time histograms of NREF2J on System A, P vs R.
+
+Part of the benchmark harness; run with::
+
+    pytest benchmarks/bench_fig01_02_histograms.py --benchmark-only -s
+"""
+
+from repro.bench import experiments
+
+
+def test_fig1_2(benchmark, ctx, save_result):
+    result = benchmark.pedantic(
+        lambda: experiments.figure_1_2(ctx),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+    assert result.text.strip()

@@ -1,0 +1,18 @@
+"""Figure 3: CFC of P/1C/R, System A on NREF2J.
+
+Part of the benchmark harness; run with::
+
+    pytest benchmarks/bench_fig03_nref2j_sysA.py --benchmark-only -s
+"""
+
+from repro.bench import experiments
+
+
+def test_fig3(benchmark, ctx, save_result):
+    result = benchmark.pedantic(
+        lambda: experiments.figure_cfc("fig3", ctx),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+    assert result.text.strip()

@@ -1,0 +1,18 @@
+"""Figure 4: System A on NREF3J (recommender produces no R).
+
+Part of the benchmark harness; run with::
+
+    pytest benchmarks/bench_fig04_nref3j_sysA.py --benchmark-only -s
+"""
+
+from repro.bench import experiments
+
+
+def test_fig4(benchmark, ctx, save_result):
+    result = benchmark.pedantic(
+        lambda: experiments.figure_cfc("fig4", ctx),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+    assert result.text.strip()

@@ -1,0 +1,18 @@
+"""Figure 5: System B on NREF2J (R barely improves on P).
+
+Part of the benchmark harness; run with::
+
+    pytest benchmarks/bench_fig05_nref2j_sysB.py --benchmark-only -s
+"""
+
+from repro.bench import experiments
+
+
+def test_fig5(benchmark, ctx, save_result):
+    result = benchmark.pedantic(
+        lambda: experiments.figure_cfc("fig5", ctx),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+    assert result.text.strip()

@@ -1,0 +1,18 @@
+"""Figure 6: System B on NREF3J (P < R < 1C).
+
+Part of the benchmark harness; run with::
+
+    pytest benchmarks/bench_fig06_nref3j_sysB.py --benchmark-only -s
+"""
+
+from repro.bench import experiments
+
+
+def test_fig6(benchmark, ctx, save_result):
+    result = benchmark.pedantic(
+        lambda: experiments.figure_cfc("fig6", ctx),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+    assert result.text.strip()

@@ -1,0 +1,18 @@
+"""Figure 7: System C on SkTH3Js (R can beat 1C on the expensive tail).
+
+Part of the benchmark harness; run with::
+
+    pytest benchmarks/bench_fig07_skth3js_sysC.py --benchmark-only -s
+"""
+
+from repro.bench import experiments
+
+
+def test_fig7(benchmark, ctx, save_result):
+    result = benchmark.pedantic(
+        lambda: experiments.figure_cfc("fig7", ctx),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+    assert result.text.strip()

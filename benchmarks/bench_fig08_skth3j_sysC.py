@@ -1,0 +1,18 @@
+"""Figure 8: System C on SkTH3J (skewed data degrades the recommender).
+
+Part of the benchmark harness; run with::
+
+    pytest benchmarks/bench_fig08_skth3j_sysC.py --benchmark-only -s
+"""
+
+from repro.bench import experiments
+
+
+def test_fig8(benchmark, ctx, save_result):
+    result = benchmark.pedantic(
+        lambda: experiments.figure_cfc("fig8", ctx),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+    assert result.text.strip()

@@ -1,0 +1,18 @@
+"""Figure 9: System C on UnTH3J (uniform data; 1C still best overall).
+
+Part of the benchmark harness; run with::
+
+    pytest benchmarks/bench_fig09_unth3j_sysC.py --benchmark-only -s
+"""
+
+from repro.bench import experiments
+
+
+def test_fig9(benchmark, ctx, save_result):
+    result = benchmark.pedantic(
+        lambda: experiments.figure_cfc("fig9", ctx),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+    assert result.text.strip()

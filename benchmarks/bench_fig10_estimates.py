@@ -1,0 +1,18 @@
+"""Figure 10: estimate curves EP/ER/E1C vs hypothetical HR/H1C.
+
+Part of the benchmark harness; run with::
+
+    pytest benchmarks/bench_fig10_estimates.py --benchmark-only -s
+"""
+
+from repro.bench import experiments
+
+
+def test_fig10(benchmark, ctx, save_result):
+    result = benchmark.pedantic(
+        lambda: experiments.figure_10(ctx),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+    assert result.text.strip()

@@ -1,0 +1,18 @@
+"""Figure 11: AIR/EIR/HIR improvement-ratio histograms (R vs 1C).
+
+Part of the benchmark harness; run with::
+
+    pytest benchmarks/bench_fig11_improvement_ratios.py --benchmark-only -s
+"""
+
+from repro.bench import experiments
+
+
+def test_fig11(benchmark, ctx, save_result):
+    result = benchmark.pedantic(
+        lambda: experiments.figure_11(ctx),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+    assert result.text.strip()

@@ -1,0 +1,18 @@
+"""Section 4.3: SkTH3J timeout-aware workload totals.
+
+Part of the benchmark harness; run with::
+
+    pytest benchmarks/bench_sec43_workload_totals.py --benchmark-only -s
+"""
+
+from repro.bench import experiments
+
+
+def test_sec43(benchmark, ctx, save_result):
+    result = benchmark.pedantic(
+        lambda: experiments.section_4_3(ctx),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+    assert result.text.strip()

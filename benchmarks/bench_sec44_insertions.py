@@ -1,0 +1,18 @@
+"""Section 4.4: insertion cost and the 1C-vs-R break-even point.
+
+Part of the benchmark harness; run with::
+
+    pytest benchmarks/bench_sec44_insertions.py --benchmark-only -s
+"""
+
+from repro.bench import experiments
+
+
+def test_sec44(benchmark, ctx, save_result):
+    result = benchmark.pedantic(
+        lambda: experiments.section_4_4(ctx),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+    assert result.text.strip()

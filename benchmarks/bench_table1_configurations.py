@@ -1,0 +1,18 @@
+"""Table 1: sizes and build times of all 14 configurations.
+
+Part of the benchmark harness; run with::
+
+    pytest benchmarks/bench_table1_configurations.py --benchmark-only -s
+"""
+
+from repro.bench import experiments
+
+
+def test_tab1(benchmark, ctx, save_result):
+    result = benchmark.pedantic(
+        lambda: experiments.table_1(ctx),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+    assert result.text.strip()

@@ -1,0 +1,18 @@
+"""Table 2: index-width histogram of the NREF recommendations.
+
+Part of the benchmark harness; run with::
+
+    pytest benchmarks/bench_table2_nref_indexes.py --benchmark-only -s
+"""
+
+from repro.bench import experiments
+
+
+def test_tab2(benchmark, ctx, save_result):
+    result = benchmark.pedantic(
+        lambda: experiments.table_2(ctx),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+    assert result.text.strip()

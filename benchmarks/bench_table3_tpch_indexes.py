@@ -1,0 +1,18 @@
+"""Table 3: index-width histogram of the TPC-H recommendations (incl. views).
+
+Part of the benchmark harness; run with::
+
+    pytest benchmarks/bench_table3_tpch_indexes.py --benchmark-only -s
+"""
+
+from repro.bench import experiments
+
+
+def test_tab3(benchmark, ctx, save_result):
+    result = benchmark.pedantic(
+        lambda: experiments.table_3(ctx),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+    assert result.text.strip()

@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` file reproduces one table or figure of the paper.  The
+heavy artifacts (databases, workloads, recommendations, measurements) are
+cached in a session-wide :class:`BenchContext`, so the full suite builds
+everything exactly once.  Every reproduced artifact is also written to
+``results/<experiment>.txt``.
+
+Scale knobs (see ``repro.bench.context``): ``REPRO_SCALE``,
+``REPRO_WORKLOAD_SIZE``, ``REPRO_TIMEOUT``.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.bench.context import BenchContext
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    return BenchContext()
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def save(result):
+        path = RESULTS_DIR / f"{result.experiment}.txt"
+        path.write_text(str(result) + "\n")
+        print()
+        print(str(result))
+        return result
+
+    return save
+
+
+def pytest_report_header(config):
+    del config
+    return (
+        f"repro benchmark harness: REPRO_SCALE="
+        f"{os.environ.get('REPRO_SCALE', '1.0')} "
+        f"REPRO_WORKLOAD_SIZE="
+        f"{os.environ.get('REPRO_WORKLOAD_SIZE', '100')}"
+    )

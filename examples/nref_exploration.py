@@ -1,0 +1,72 @@
+"""The paper's motivating scenario (Section 1.1): a biologist explores
+the NREF protein database with ad-hoc join/aggregate queries.
+
+Builds a (scaled) synthetic NREF instance, samples exploratory queries
+from the NREF2J family, and contrasts the response-time distribution the
+biologist experiences on the primary-keys-only configuration (P) against
+the all-single-column-indexes configuration (1C) — the satisfied vs
+frustrated "biologist-turned-database-user" of Figures 1-3.
+
+    python examples/nref_exploration.py [scale] [n_queries]
+"""
+
+import sys
+
+from repro.analysis.binning import time_histogram
+from repro.analysis.cfc import CumulativeFrequencyCurve, log_grid
+from repro.analysis.charts import render_cfc, render_histogram
+from repro.analysis.goals import example2_goal
+from repro.analysis.measurements import measure_workload
+from repro.datagen.nref import load_nref_database
+from repro.engine.configuration import (
+    one_column_configuration,
+    primary_configuration,
+)
+from repro.engine.systems import system_a
+from repro.workload.nref_families import generate_nref2j
+from repro.workload.sampling import sample_benchmark_workload
+
+
+def main(scale=0.25, n_queries=30):
+    print(f"Generating synthetic NREF at scale {scale} ...")
+    db = load_nref_database(system_a(), scale=scale)
+    for table in db.tables.values():
+        print(f"  {table.name:<16} {table.row_count:>9,} rows")
+
+    db.apply_configuration(primary_configuration(db.catalog, name="P"))
+    family = generate_nref2j(db)
+    workload = sample_benchmark_workload(db, family, size=n_queries)
+    print(f"\nNREF2J family: {len(family)} queries; "
+          f"sampled workload: {len(workload)} queries")
+    print("example query:\n ", workload.queries[0].sql, "\n")
+
+    curves = []
+    for make_config in (primary_configuration, one_column_configuration):
+        config = make_config(db.catalog)
+        db.apply_configuration(config)
+        db.collect_statistics()
+        measurement = measure_workload(db, workload)
+        histogram = time_histogram(measurement)
+        print(render_histogram(
+            histogram,
+            title=f"Configuration {config.name}: elapsed-time histogram "
+                  f"({measurement.timeout_count} timeouts)",
+        ))
+        print()
+        curves.append(CumulativeFrequencyCurve(measurement))
+
+    grid = log_grid(1.0, 1800.0)
+    print(render_cfc(curves, grid,
+                     title="Cumulative frequency curves (Figure 3 style)"))
+
+    goal = example2_goal()
+    print("\nExample-2 goal (10% < 10s, 50% < 60s, 90% < timeout):")
+    for curve in curves:
+        verdict = "satisfied" if goal.satisfied_by(curve) else "NOT satisfied"
+        print(f"  {curve.name}: {verdict} (margin {goal.margin(curve):+.2f})")
+
+
+if __name__ == "__main__":
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.25
+    n_queries = int(sys.argv[2]) if len(sys.argv) > 2 else 30
+    main(scale, n_queries)

@@ -1,0 +1,100 @@
+"""Quickstart: build a database, run SQL, compare configurations.
+
+Runs in a few seconds::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    Catalog,
+    ColumnDef,
+    Database,
+    TableSchema,
+    integer,
+    one_column_configuration,
+    primary_configuration,
+    system_a,
+    varchar,
+)
+from repro.optimizer.plans import explain
+
+
+def build_database():
+    """A two-table toy schema: users and their orders."""
+    users = TableSchema(
+        "users",
+        [
+            ColumnDef("uid", integer(), "id"),
+            ColumnDef("city", varchar(12), "city"),
+            ColumnDef("age", integer(), "age"),
+        ],
+        primary_key=("uid",),
+    )
+    orders = TableSchema(
+        "orders",
+        [
+            ColumnDef("oid", integer(), "id"),
+            ColumnDef("uid", integer(), "id"),
+            ColumnDef("amount", integer(), "amount"),
+        ],
+        primary_key=("oid",),
+    )
+    db = Database(Catalog([users, orders]), system_a(), name="quickstart")
+
+    rng = np.random.default_rng(42)
+    n_users, n_orders = 20_000, 200_000
+    cities = np.array(
+        ["toronto", "montreal", "vancouver", "calgary", "ottawa"],
+        dtype=object,
+    )
+    db.load_table(
+        "users",
+        {
+            "uid": np.arange(n_users),
+            "city": rng.choice(cities, n_users),
+            "age": rng.integers(18, 80, n_users),
+        },
+    )
+    db.load_table(
+        "orders",
+        {
+            "oid": np.arange(n_orders),
+            "uid": rng.integers(0, n_users, n_orders),
+            "amount": rng.integers(1, 500, n_orders),
+        },
+    )
+    db.collect_statistics()
+    return db
+
+
+def main():
+    db = build_database()
+    sql = (
+        "SELECT u.city, COUNT(*) FROM users u, orders o "
+        "WHERE u.uid = o.uid AND u.age = 30 GROUP BY u.city"
+    )
+
+    print("Query:", sql, "\n")
+    for make_config in (primary_configuration, one_column_configuration):
+        config = make_config(db.catalog)
+        report = db.apply_configuration(config)
+        result = db.execute(sql)
+        print(f"--- configuration {config.name} "
+              f"(built in {report.build_seconds:.1f} virtual s, "
+              f"{report.total_bytes / 2**20:.1f} MB) ---")
+        print(explain(result.plan))
+        print(f"rows: {sorted(result.rows())}")
+        print(f"virtual elapsed: {result.elapsed:.2f} s\n")
+
+    # The optimizer can also price a configuration *without* building it.
+    hypothetical = one_column_configuration(db.catalog, name="what-if")
+    db.apply_configuration(primary_configuration(db.catalog))
+    print(f"E(q, P)        = {db.estimate(sql):8.2f} virtual s")
+    print(f"H(q, 1C, P)    = "
+          f"{db.estimate_hypothetical(sql, hypothetical):8.2f} virtual s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Log-scale histogram binning with the paper's ``t_out`` bin.
+
+Figures 1, 2 and 11 are histograms over logarithmic bins; queries that
+hit the timeout are collected in a single trailing ``t_out`` bin.
+"""
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+TIMEOUT_LABEL = "t_out"
+
+
+@dataclass
+class Histogram:
+    """A log-binned histogram: edge labels, counts, cumulative fractions."""
+
+    labels: list
+    counts: np.ndarray
+    total: int
+
+    def cumulative(self):
+        """Cumulative relative frequencies per bin (the figures' line)."""
+        if self.total == 0:
+            return np.zeros(len(self.counts))
+        return np.cumsum(self.counts) / self.total
+
+    def rows(self):
+        """(label, count, cumulative%) rows for report tables."""
+        cum = self.cumulative()
+        return [
+            (label, int(count), round(100 * c, 1))
+            for label, count, c in zip(self.labels, self.counts, cum)
+        ]
+
+
+def _bin_label(exponent, per_decade):
+    value = 10 ** (exponent / per_decade)
+    if value >= 100 or value == int(value):
+        return f"{value:.0f}"
+    return f"{value:.1f}"
+
+
+def time_histogram(measurement, lo=1.0, per_decade=2):
+    """Histogram of elapsed times in half-decade bins plus ``t_out``.
+
+    The bin labeled ``x`` counts queries with elapsed time in
+    ``(x / 10^(1/per_decade), x]``; the first bin is open below.
+    """
+    hi = measurement.timeout
+    lo_e = int(math.floor(math.log10(lo) * per_decade))
+    hi_e = int(math.ceil(math.log10(max(hi, lo * 10)) * per_decade))
+    edges = [10 ** (e / per_decade) for e in range(lo_e, hi_e + 1)]
+    labels = [_bin_label(e, per_decade) for e in range(lo_e, hi_e + 1)]
+
+    done = measurement.elapsed[~measurement.timed_out]
+    counts = np.zeros(len(edges) + 1, dtype=np.int64)
+    idx = np.searchsorted(edges, done, side="left")
+    for i in idx:
+        counts[min(i, len(edges) - 1)] += 1
+    counts[-1] = measurement.timeout_count
+    return Histogram(
+        labels=labels + [TIMEOUT_LABEL],
+        counts=np.append(counts[: len(edges)], counts[-1]),
+        total=len(measurement),
+    )
+
+
+def ratio_histogram(ratios, per_decade=1, lo_exp=-3, hi_exp=3):
+    """Histogram of improvement ratios over decade bins (Figure 11).
+
+    Ratios below ``10**lo_exp`` or above ``10**hi_exp`` clamp into the
+    edge bins.
+    """
+    ratios = np.asarray(ratios, dtype=np.float64)
+    ratios = ratios[np.isfinite(ratios) & (ratios > 0)]
+    exps = np.clip(
+        np.round(np.log10(ratios) * per_decade), lo_exp * per_decade,
+        hi_exp * per_decade,
+    ).astype(int)
+    labels, counts = [], []
+    for e in range(lo_exp * per_decade, hi_exp * per_decade + 1):
+        labels.append(_bin_label(e, per_decade))
+        counts.append(int(np.sum(exps == e)))
+    return Histogram(labels=labels, counts=np.array(counts), total=len(ratios))

@@ -1,0 +1,65 @@
+"""Plain-text renderings of the paper's figures.
+
+The benchmark harness has no plotting dependency; every figure is emitted
+as an aligned text table plus an ASCII chart, which is enough to read off
+the quantities the paper discusses (quantiles, crossovers, timeout bins).
+"""
+
+
+def render_table(headers, rows, title=None):
+    """A fixed-width text table."""
+    columns = [str(h) for h in headers]
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(columns[i]), *(len(r[i]) for r in str_rows)) if str_rows
+        else len(columns[i])
+        for i in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_histogram(histogram, title=None, width=40):
+    """ASCII bar chart of a histogram with the cumulative line."""
+    peak = max(1, int(max(histogram.counts)))
+    lines = [title] if title else []
+    for label, count, cum in histogram.rows():
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"{label:>7}  {count:4d} {bar:<{width}} cum {cum:5.1f}%")
+    return "\n".join(lines)
+
+
+def render_cfc(curves, grid, title=None):
+    """ASCII rendering of cumulative frequency curves on a shared grid.
+
+    ``curves`` is a list of :class:`CumulativeFrequencyCurve`; one row per
+    grid point, one column block per curve, plus a compact ">50%"
+    strip chart per curve.
+    """
+    lines = [title] if title else []
+    header = "x (s)".rjust(10) + "".join(
+        f"  {c.name:>12}" for c in curves
+    )
+    lines.append(header)
+    for x in grid:
+        row = f"{x:10.1f}"
+        for curve in curves:
+            frac = float(curve([x])[0])
+            row += f"  {100 * frac:11.1f}%"
+        lines.append(row)
+    lines.append("")
+    for curve in curves:
+        marks = "".join(
+            "#" if float(curve([x])[0]) > 0.5 else "."
+            for x in grid
+        )
+        lines.append(f"{curve.name:>10}  >50% at: {marks}")
+    return "\n".join(lines)

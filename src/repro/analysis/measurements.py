@@ -1,0 +1,113 @@
+"""Workload measurements: the raw material of every figure and table.
+
+A :class:`WorkloadMeasurement` holds one elapsed time per query of a
+workload executed on one configuration, with timeouts clamped to the
+timeout limit and flagged — matching how the paper reports the ``t_out``
+bin and computes timeout-aware lower bounds (Section 4.3).
+"""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..engine.database import DEFAULT_TIMEOUT
+
+
+@dataclass
+class WorkloadMeasurement:
+    """Per-query elapsed times of one (workload, configuration) run.
+
+    ``weights`` carries the bag semantics of Section 2.2: a query with
+    weight *w* counts as *w* repetitions in totals and frequency curves.
+    """
+
+    workload: str
+    configuration: str
+    elapsed: np.ndarray
+    timed_out: np.ndarray
+    timeout: float = DEFAULT_TIMEOUT
+    sqls: list = field(default_factory=list)
+    weights: np.ndarray = None
+
+    def __post_init__(self):
+        self.elapsed = np.asarray(self.elapsed, dtype=np.float64)
+        self.timed_out = np.asarray(self.timed_out, dtype=bool)
+        if len(self.elapsed) != len(self.timed_out):
+            raise ValueError("elapsed/timed_out length mismatch")
+        if self.weights is None:
+            self.weights = np.ones(len(self.elapsed), dtype=np.float64)
+        else:
+            self.weights = np.asarray(self.weights, dtype=np.float64)
+            if len(self.weights) != len(self.elapsed):
+                raise ValueError("weights length mismatch")
+
+    def __len__(self):
+        return len(self.elapsed)
+
+    @property
+    def timeout_count(self):
+        return int(self.timed_out.sum())
+
+    def completed_total(self):
+        """Weighted total elapsed time over queries that did not time out."""
+        done = ~self.timed_out
+        return float((self.elapsed[done] * self.weights[done]).sum())
+
+    def lower_bound_total(self):
+        """Timeout-aware lower bound on the workload's total time.
+
+        The paper's Section 4.3 arithmetic: completed queries contribute
+        their time, timed-out queries contribute at least the timeout
+        (weighted by their repetition count).
+        """
+        timed = float(self.weights[self.timed_out].sum()) * self.timeout
+        return self.completed_total() + timed
+
+
+def measure_workload(database, workload, timeout=DEFAULT_TIMEOUT,
+                     configuration=None):
+    """Execute every query of a workload; returns a measurement."""
+    elapsed, timed_out, sqls, weights = [], [], [], []
+    for query in workload:
+        result = database.execute(query.sql, timeout=timeout)
+        elapsed.append(result.elapsed)
+        timed_out.append(result.timed_out)
+        sqls.append(query.sql)
+        weights.append(getattr(query, "weight", 1.0))
+    return WorkloadMeasurement(
+        workload=workload.name,
+        configuration=configuration or database.configuration.name,
+        elapsed=np.array(elapsed),
+        timed_out=np.array(timed_out),
+        timeout=timeout,
+        sqls=sqls,
+        weights=np.array(weights),
+    )
+
+
+def estimate_workload(database, workload, configuration=None,
+                      hypothetical=None):
+    """Per-query estimated (or hypothetical) costs for a workload.
+
+    With ``hypothetical`` set to a configuration, returns ``H`` costs;
+    otherwise ``E`` costs in the current configuration.
+    """
+    costs = []
+    for query in workload:
+        if hypothetical is not None:
+            costs.append(
+                database.estimate_hypothetical(query.sql, hypothetical)
+            )
+        else:
+            costs.append(database.estimate(query.sql))
+    return WorkloadMeasurement(
+        workload=workload.name,
+        configuration=configuration or (
+            hypothetical.name if hypothetical is not None
+            else database.configuration.name
+        ),
+        elapsed=np.array(costs),
+        timed_out=np.zeros(len(costs), dtype=bool),
+        timeout=float("inf"),
+        sqls=[q.sql for q in workload],
+    )

@@ -1,0 +1,61 @@
+"""Per-query improvement ratios (Section 5.2).
+
+* ``AIR(q) = A(q, Ci) / A(q, Cj)`` — actual improvement;
+* ``EIR(q) = E(q, Ci) / E(q, Cj)`` — estimated (each estimate taken in
+  its own target configuration);
+* ``HIR(q) = H(q, Ci, P) / H(q, Cj, P)`` — hypothetical (both estimates
+  taken while the system sits in P).
+
+The paper compares R against 1C: ratios above 1 mean R is worse.  As in
+the paper, actual ratios involving timed-out queries are dropped.
+"""
+
+import numpy as np
+
+
+def paired_ratios(numerator, denominator, drop_timeouts=True):
+    """Element-wise ratio of two measurements over the same workload."""
+    if len(numerator) != len(denominator):
+        raise ValueError("measurements cover different workloads")
+    num = numerator.elapsed.astype(np.float64)
+    den = denominator.elapsed.astype(np.float64)
+    mask = np.ones(len(num), dtype=bool)
+    if drop_timeouts:
+        mask &= ~numerator.timed_out
+        mask &= ~denominator.timed_out
+    den = np.where(den <= 0, np.nan, den)
+    ratios = num / den
+    return ratios[mask & np.isfinite(ratios)]
+
+
+def air(actual_ci, actual_cj):
+    """Actual improvement ratios ``A(q, Ci) / A(q, Cj)``."""
+    return paired_ratios(actual_ci, actual_cj, drop_timeouts=True)
+
+
+def eir(estimated_ci, estimated_cj):
+    """Estimated improvement ratios ``E(q, Ci) / E(q, Cj)``."""
+    return paired_ratios(estimated_ci, estimated_cj, drop_timeouts=False)
+
+
+def hir(hypothetical_ci, hypothetical_cj):
+    """Hypothetical improvement ratios ``H(q, Ci, P) / H(q, Cj, P)``."""
+    return paired_ratios(hypothetical_ci, hypothetical_cj,
+                         drop_timeouts=False)
+
+
+def ratio_summary(ratios):
+    """Counts of queries at >=100x, >=10x, no-change, and degradations.
+
+    Mirrors how the paper reads Figure 11 ("31 queries are 10 times
+    faster in 1C than in R, 17 queries 100 times faster, 33 show no
+    improvement").
+    """
+    ratios = np.asarray(ratios)
+    return {
+        "x100_or_more": int(np.sum(ratios >= 100)),
+        "x10_to_100": int(np.sum((ratios >= 10) & (ratios < 100))),
+        "about_1": int(np.sum((ratios > 1 / 3) & (ratios < 3))),
+        "degraded": int(np.sum(ratios <= 1 / 3)),
+        "median": float(np.median(ratios)) if len(ratios) else float("nan"),
+    }

@@ -1,0 +1,262 @@
+"""Shared experiment context.
+
+Building a database, sampling a 100-query workload, constructing P/1C,
+obtaining a recommendation and measuring workloads are shared by every
+figure and table; this module caches those steps per process so a full
+benchmark run builds each artifact once.
+
+Environment knobs:
+
+* ``REPRO_SCALE``          — data scale factor (default 1.0);
+* ``REPRO_WORKLOAD_SIZE``  — queries per sampled workload (default 100);
+* ``REPRO_TIMEOUT``        — per-query virtual timeout in seconds
+  (default 1800, the paper's 30 minutes).
+"""
+
+import os
+from dataclasses import dataclass
+
+from ..common.errors import RecommenderGaveUp
+from ..datagen.nref import load_nref_database
+from ..datagen.tpch import load_tpch_database
+from ..engine.configuration import (
+    one_column_configuration,
+    primary_configuration,
+)
+from ..engine.systems import by_name as system_by_name
+from ..recommender.whatif import WhatIfRecommender
+from ..workload.nref_families import generate_nref2j, generate_nref3j
+from ..workload.sampling import sample_benchmark_workload
+from ..workload.tpch_families import (
+    generate_skth3j,
+    generate_skth3js,
+    generate_unth3j,
+)
+from ..analysis.measurements import measure_workload
+
+FAMILY_GENERATORS = {
+    "NREF2J": generate_nref2j,
+    "NREF3J": generate_nref3j,
+    "SkTH3J": generate_skth3j,
+    "SkTH3Js": generate_skth3js,
+    "UnTH3J": generate_unth3j,
+}
+
+FAMILY_DATASET = {
+    "NREF2J": "nref",
+    "NREF3J": "nref",
+    "SkTH3J": "skth",
+    "SkTH3Js": "skth",
+    "UnTH3J": "unth",
+}
+
+
+@dataclass(frozen=True)
+class BenchSettings:
+    """Scale and sampling knobs of one benchmark run."""
+
+    scale: float = 1.0
+    workload_size: int = 100
+    timeout: float = 1800.0
+    seed: int = 405
+
+    @classmethod
+    def from_env(cls):
+        return cls(
+            scale=float(os.environ.get("REPRO_SCALE", "1.0")),
+            workload_size=int(os.environ.get("REPRO_WORKLOAD_SIZE", "100")),
+            timeout=float(os.environ.get("REPRO_TIMEOUT", "1800")),
+        )
+
+
+class BenchContext:
+    """Process-wide cache of databases, workloads, and measurements."""
+
+    def __init__(self, settings=None):
+        self.settings = settings or BenchSettings.from_env()
+        self._databases = {}
+        self._workloads = {}
+        self._measurements = {}
+        self._recommendations = {}
+        self._build_reports = {}
+
+    # ------------------------------------------------------------------
+    # Databases and configurations
+
+    def database(self, system_name, dataset):
+        """A loaded database for ``(system, dataset)`` with P applied."""
+        key = (system_name, dataset)
+        if key not in self._databases:
+            system = system_by_name(system_name)
+            if dataset == "nref":
+                db = load_nref_database(
+                    system, scale=self.settings.scale, name="NREF"
+                )
+            elif dataset == "skth":
+                db = load_tpch_database(
+                    system, scale=self.settings.scale, zipf=1.0, name="SkTH"
+                )
+            elif dataset == "unth":
+                db = load_tpch_database(
+                    system, scale=self.settings.scale, zipf=0.0, name="UnTH"
+                )
+            else:
+                raise ValueError(f"unknown dataset {dataset!r}")
+            report = db.apply_configuration(
+                primary_configuration(db.catalog, name="P")
+            )
+            self._databases[key] = db
+            self._build_reports[(system_name, dataset, "P")] = report
+        return self._databases[key]
+
+    def p_configuration(self, database):
+        return primary_configuration(database.catalog, name="P")
+
+    def one_c_configuration(self, database):
+        return one_column_configuration(database.catalog, name="1C")
+
+    def space_budget(self, database):
+        """The paper's budget: size(1C) minus size(P), estimated."""
+        p_bytes = database.estimated_configuration_bytes(
+            self.p_configuration(database)
+        )
+        one_c_bytes = database.estimated_configuration_bytes(
+            self.one_c_configuration(database)
+        )
+        return max(0, one_c_bytes - p_bytes)
+
+    # ------------------------------------------------------------------
+    # Workloads
+
+    def workload(self, system_name, family):
+        """The sampled benchmark workload of a family (cached).
+
+        Sampling needs estimated costs, which are taken in the P
+        configuration — so the database is (re)set to P first.
+        """
+        key = (system_name, family)
+        if key not in self._workloads:
+            db = self.database(system_name, FAMILY_DATASET[family])
+            self._ensure_configuration(db, system_name, "P")
+            full = FAMILY_GENERATORS[family](db)
+            sampled = sample_benchmark_workload(
+                db,
+                full,
+                size=self.settings.workload_size,
+                seed=self.settings.seed,
+            )
+            self._workloads[key] = (full, sampled)
+        return self._workloads[key][1]
+
+    def full_family(self, system_name, family):
+        self.workload(system_name, family)
+        return self._workloads[(system_name, family)][0]
+
+    # ------------------------------------------------------------------
+    # Recommendations
+
+    def recommendation(self, system_name, family):
+        """The recommended configuration for a family (None on bail-out).
+
+        Returns ``(configuration_or_None, report_or_exception)``.
+        """
+        key = (system_name, family)
+        if key not in self._recommendations:
+            db = self.database(system_name, FAMILY_DATASET[family])
+            workload = self.workload(system_name, family)
+            self._ensure_configuration(db, system_name, "P")
+            recommender = WhatIfRecommender(db)
+            budget = self.space_budget(db)
+            try:
+                report = recommender.recommend(
+                    workload, budget, name=f"{family}_R"
+                )
+            except RecommenderGaveUp as failure:
+                self._recommendations[key] = (None, failure)
+            else:
+                self._recommendations[key] = (report.configuration, report)
+        return self._recommendations[key]
+
+    # ------------------------------------------------------------------
+    # Measurements
+
+    def measure(self, system_name, family, config_name):
+        """Elapsed times of a family's workload on P / 1C / R (cached)."""
+        key = (system_name, family, config_name)
+        if key not in self._measurements:
+            db = self.database(system_name, FAMILY_DATASET[family])
+            workload = self.workload(system_name, family)
+            config = self._resolve_config(db, system_name, family, config_name)
+            if config is None:
+                self._measurements[key] = None
+            else:
+                self._apply(db, system_name, family, config)
+                self._measurements[key] = measure_workload(
+                    db,
+                    workload,
+                    timeout=self.settings.timeout,
+                    configuration=config_name,
+                )
+        return self._measurements[key]
+
+    def build_report(self, system_name, dataset, config_name, family=None):
+        """BuildReport for a configuration (builds it if needed)."""
+        key = (system_name, dataset, config_name)
+        if key not in self._build_reports:
+            db = self.database(system_name, dataset)
+            if config_name == "P":
+                config = self.p_configuration(db)
+            elif config_name == "1C":
+                config = self.one_c_configuration(db)
+            else:
+                config, _ = self.recommendation(system_name, family)
+                if config is None:
+                    self._build_reports[key] = None
+                    return None
+            report = db.apply_configuration(config.renamed(config_name))
+            db.collect_statistics()
+            self._build_reports[key] = report
+        return self._build_reports[key]
+
+    # ------------------------------------------------------------------
+    # Internals
+
+    def _resolve_config(self, db, system_name, family, config_name):
+        if config_name == "P":
+            return self.p_configuration(db)
+        if config_name == "1C":
+            return self.one_c_configuration(db)
+        if config_name == "R":
+            config, _ = self.recommendation(system_name, family)
+            return config
+        raise ValueError(f"unknown configuration {config_name!r}")
+
+    def _apply(self, db, system_name, family, config):
+        del system_name, family
+        current = db.configuration
+        same_structures = (
+            {ix.name for ix in current.indexes}
+            == {ix.name for ix in config.indexes}
+            and current.view_names() == config.view_names()
+        )
+        if current.name != config.name or not same_structures:
+            db.apply_configuration(config)
+            db.collect_statistics()
+
+    def _ensure_configuration(self, db, system_name, config_name):
+        if config_name == "P" and db.configuration.name != "P":
+            db.apply_configuration(
+                primary_configuration(db.catalog, name="P")
+            )
+            db.collect_statistics()
+
+
+_GLOBAL_CONTEXT = None
+
+
+def global_context():
+    """The process-wide :class:`BenchContext` (created on first use)."""
+    global _GLOBAL_CONTEXT
+    if _GLOBAL_CONTEXT is None:
+        _GLOBAL_CONTEXT = BenchContext()
+    return _GLOBAL_CONTEXT

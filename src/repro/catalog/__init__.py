@@ -1,0 +1,6 @@
+"""Relational schemas and the catalog."""
+
+from .catalog import Catalog
+from .schema import ColumnDef, ForeignKey, TableSchema
+
+__all__ = ["Catalog", "ColumnDef", "ForeignKey", "TableSchema"]

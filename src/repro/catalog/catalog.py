@@ -1,0 +1,69 @@
+"""The catalog: the set of table schemas of one database."""
+
+from ..common.errors import CatalogError
+
+
+class Catalog:
+    """Name -> :class:`TableSchema` map with domain-aware helpers."""
+
+    def __init__(self, schemas=()):
+        self._tables = {}
+        for schema in schemas:
+            self.add_table(schema)
+
+    def add_table(self, schema):
+        if schema.name in self._tables:
+            raise CatalogError(f"table {schema.name!r} already in catalog")
+        self._tables[schema.name] = schema
+
+    def table(self, name):
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"no table {name!r} in catalog") from None
+
+    def has_table(self, name):
+        return name in self._tables
+
+    @property
+    def table_names(self):
+        return list(self._tables)
+
+    def tables(self):
+        return list(self._tables.values())
+
+    def domains(self):
+        """All non-empty domain labels appearing in the catalog."""
+        labels = set()
+        for schema in self._tables.values():
+            for col in schema.columns:
+                if col.domain:
+                    labels.add(col.domain)
+        return sorted(labels)
+
+    def columns_in_domain(self, domain):
+        """All ``(table_name, column_name)`` pairs in a given domain."""
+        pairs = []
+        for schema in self._tables.values():
+            for col in schema.columns_in_domain(domain):
+                pairs.append((schema.name, col.name))
+        return pairs
+
+    def join_pairs(self, same_table=False):
+        """Domain-compatible joinable column pairs across the catalog.
+
+        Returns ``(table_a, col_a, table_b, col_b)`` tuples; with
+        ``same_table=True`` self-join pairs (same table, same column) are
+        included, as required by the NREF3J family.
+        """
+        pairs = []
+        for domain in self.domains():
+            cols = self.columns_in_domain(domain)
+            for i, (ta, ca) in enumerate(cols):
+                for tb, cb in cols[i:]:
+                    if ta == tb and ca == cb:
+                        if same_table:
+                            pairs.append((ta, ca, tb, cb))
+                        continue
+                    pairs.append((ta, ca, tb, cb))
+        return pairs

@@ -1,0 +1,22 @@
+"""Shared basics: errors, units, RNG, hardware model."""
+
+from .errors import (
+    BindError,
+    CatalogError,
+    ConfigurationError,
+    ExecutionError,
+    ParseError,
+    PlanError,
+    QueryTimeout,
+    RecommenderError,
+    RecommenderGaveUp,
+    ReproError,
+)
+from .hardware import PAGE_SIZE, HardwareProfile, desktop_2004
+
+__all__ = [
+    "BindError", "CatalogError", "ConfigurationError", "ExecutionError",
+    "ParseError", "PlanError", "QueryTimeout", "RecommenderError",
+    "RecommenderGaveUp", "ReproError", "PAGE_SIZE", "HardwareProfile",
+    "desktop_2004",
+]

@@ -1,0 +1,68 @@
+"""Exception hierarchy shared across the repro packages."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CatalogError(ReproError):
+    """Schema or catalog inconsistency (unknown table/column, duplicate name, ...)."""
+
+
+class ParseError(ReproError):
+    """The SQL text does not belong to the supported benchmark subset."""
+
+    def __init__(self, message, position=None):
+        self.position = position
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class BindError(ReproError):
+    """A parsed query references names that do not resolve against the catalog."""
+
+
+class PlanError(ReproError):
+    """The optimizer could not produce a plan for a (bound) query."""
+
+
+class ExecutionError(ReproError):
+    """A physical operator failed while executing a plan."""
+
+
+class QueryTimeout(ReproError):
+    """The virtual clock exceeded the configured timeout during execution.
+
+    Mirrors the paper's 30-minute per-query timeout: queries that raise this
+    are reported in the ``t_out`` bin of the histograms.
+    """
+
+    def __init__(self, limit_seconds, charged_seconds):
+        self.limit_seconds = limit_seconds
+        self.charged_seconds = charged_seconds
+        super().__init__(
+            f"query exceeded the {limit_seconds:g}s timeout "
+            f"(virtual clock at {charged_seconds:g}s)"
+        )
+
+
+class RecommenderError(ReproError):
+    """The recommender could not run at all (bad inputs, empty workload, ...)."""
+
+
+class RecommenderGaveUp(RecommenderError):
+    """The recommender bailed out without producing any configuration.
+
+    This reproduces the paper's Section 4.1.2 observation that System A's
+    recommender "did not output any recommended configuration at all" for
+    the 100-query NREF3J workload.
+    """
+
+    def __init__(self, reason):
+        self.reason = reason
+        super().__init__(f"recommender gave up: {reason}")
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration change was requested (duplicate index, ...)."""

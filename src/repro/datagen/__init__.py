@@ -1,0 +1,9 @@
+"""Benchmark data generators."""
+
+from .nref import generate_nref, load_nref_database, nref_catalog
+from .tpch import generate_tpch, load_tpch_database, tpch_catalog
+
+__all__ = [
+    "generate_nref", "generate_tpch", "load_nref_database",
+    "load_tpch_database", "nref_catalog", "tpch_catalog",
+]

@@ -1,0 +1,87 @@
+"""Text/value pool helpers shared by the data generators."""
+
+import numpy as np
+
+from ..common.rng import zipf_weights
+
+GREEK = [
+    "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta",
+    "iota", "kappa", "lambda", "mu", "nu", "xi", "omicron", "pi", "rho",
+    "sigma", "tau", "upsilon", "phi", "chi", "psi", "omega",
+]
+
+PROTEIN_ROLES = [
+    "kinase", "polymerase", "receptor", "transferase", "hydrolase",
+    "ligase", "isomerase", "oxidase", "reductase", "synthase", "protease",
+    "phosphatase", "transporter", "channel", "repressor", "activator",
+]
+
+ORGANISM_STEMS = [
+    "Homo", "Mus", "Rattus", "Danio", "Drosophila", "Caenorhabditis",
+    "Saccharomyces", "Escherichia", "Bacillus", "Arabidopsis", "Oryza",
+    "Gallus", "Bos", "Sus", "Canis", "Macaca", "Pan", "Xenopus",
+]
+
+ORGANISM_EPITHETS = [
+    "sapiens", "musculus", "norvegicus", "rerio", "melanogaster",
+    "elegans", "cerevisiae", "coli", "subtilis", "thaliana", "sativa",
+    "gallus", "taurus", "scrofa", "familiaris", "mulatta", "troglodytes",
+    "laevis",
+]
+
+LINEAGE_ROOTS = [
+    "Eukaryota; Metazoa; Chordata",
+    "Eukaryota; Metazoa; Arthropoda",
+    "Eukaryota; Fungi; Ascomycota",
+    "Eukaryota; Viridiplantae; Streptophyta",
+    "Bacteria; Proteobacteria",
+    "Bacteria; Firmicutes",
+    "Archaea; Euryarchaeota",
+    "Viruses; dsDNA viruses; Polyomaviridae",
+    "Viruses; ssRNA viruses; Retroviridae",
+]
+
+
+def name_pool(rng, size, kind="protein"):
+    """A pool of ``size`` human-readable names of the given kind."""
+    names = []
+    if kind == "protein":
+        for i in range(size):
+            greek = GREEK[int(rng.integers(len(GREEK)))]
+            role = PROTEIN_ROLES[int(rng.integers(len(PROTEIN_ROLES)))]
+            names.append(f"{greek}-{role} {i % 97 + 1}")
+    elif kind == "species":
+        for i in range(size):
+            stem = ORGANISM_STEMS[i % len(ORGANISM_STEMS)]
+            epithet = ORGANISM_EPITHETS[int(rng.integers(len(ORGANISM_EPITHETS)))]
+            names.append(f"{stem} {epithet} {i // len(ORGANISM_STEMS) + 1}")
+    elif kind == "lineage":
+        for i in range(size):
+            root = LINEAGE_ROOTS[i % len(LINEAGE_ROOTS)]
+            names.append(f"{root}; clade-{i + 1}")
+    else:
+        raise ValueError(f"unknown pool kind {kind!r}")
+    return np.array(names, dtype=object)
+
+
+def zipf_column(rng, pool, size, z):
+    """Sample a column of ``size`` values from ``pool`` with Zipf(z) weights.
+
+    The pool is shuffled first so that rank order does not correlate with
+    pool construction order.
+    """
+    pool = np.asarray(pool)
+    order = rng.permutation(len(pool))
+    weights = zipf_weights(len(pool), z)
+    idx = rng.choice(len(pool), size=size, p=weights)
+    return pool[order][idx]
+
+
+def sequence_strings(rng, size, mean_length=40):
+    """Fake amino-acid sequences (non-indexable payload data)."""
+    alphabet = np.array(list("ACDEFGHIKLMNPQRSTVWY"), dtype=object)
+    lengths = rng.poisson(mean_length, size).clip(10, 4 * mean_length)
+    return np.array(
+        ["".join(rng.choice(alphabet, int(n))) for n in lengths],
+        dtype=object,
+    )

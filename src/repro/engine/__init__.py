@@ -1,0 +1,15 @@
+"""The database facade, configurations, and system profiles."""
+
+from .configuration import (
+    Configuration,
+    one_column_configuration,
+    primary_configuration,
+)
+from .database import BuildReport, Database, QueryResult
+from .systems import SystemProfile, system_a, system_b, system_c
+
+__all__ = [
+    "BuildReport", "Configuration", "Database", "QueryResult",
+    "SystemProfile", "one_column_configuration", "primary_configuration",
+    "system_a", "system_b", "system_c",
+]

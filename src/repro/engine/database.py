@@ -1,0 +1,536 @@
+"""The database facade: one simulated RDBMS instance.
+
+A :class:`Database` owns the catalog, the loaded tables, the collected
+statistics, and the currently-applied :class:`Configuration` (built
+indexes and materialized views).  It exposes the three cost measures of
+the paper's framework:
+
+* ``execute(sql)``                    → actual cost  ``A(q, C)``
+* ``estimate(sql)``                   → estimated cost ``E(q, C)``
+* ``estimate_hypothetical(sql, Ch)``  → hypothetical cost ``H(q, Ch, C)``
+
+plus ``apply_configuration`` (the transition whose cost/size Table 1
+reports) and the insert path of Section 4.4.
+"""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..common.errors import CatalogError, QueryTimeout
+from ..executor.engine import Executor
+from ..index.data import IndexData
+from ..index.definition import estimate_index_size
+from ..optimizer import cost_model as cm
+from ..optimizer.environment import IndexInfo, PlannerEnv, ViewInfo
+from ..optimizer.estimator import Estimator
+from ..optimizer.planner import Planner
+from ..sql.binder import Binder, BoundQuery
+from ..sql.parser import parse
+from ..stats.table_stats import StatisticsCatalog, TableStats
+from ..storage.table import Table
+from ..views.matview import build_view
+from .configuration import Configuration, primary_configuration
+
+DEFAULT_TIMEOUT = 1800.0
+
+
+@dataclass
+class BuildReport:
+    """Cost and size of applying a configuration (the paper's Table 1)."""
+
+    configuration: str
+    build_seconds: float
+    heap_bytes: int
+    index_bytes: int
+    view_bytes: int
+
+    @property
+    def total_bytes(self):
+        return self.heap_bytes + self.index_bytes + self.view_bytes
+
+
+@dataclass
+class QueryResult:
+    """Outcome of executing one query."""
+
+    sql: str
+    elapsed: float
+    timed_out: bool
+    plan: object
+    batch: object = None
+
+    def rows(self):
+        """Result rows as a list of tuples (None after a timeout)."""
+        if self.batch is None:
+            return None
+        keys = list(self.batch.columns)
+        arrays = [self.batch.columns[k] for k in keys]
+        return list(zip(*(a.tolist() for a in arrays))) if arrays else []
+
+
+@dataclass
+class _BuiltState:
+    configuration: Configuration
+    index_data: dict = field(default_factory=dict)   # name -> IndexData
+    view_tables: dict = field(default_factory=dict)  # view name -> Table
+
+
+class Database:
+    """One simulated RDBMS instance under a system profile."""
+
+    def __init__(self, catalog, system, name="db"):
+        self.catalog = catalog
+        self.system = system
+        self.name = name
+        self.tables = {}
+        self.statistics = StatisticsCatalog()
+        self._view_stats = StatisticsCatalog()
+        self._built = None
+        self._bound_cache = {}
+        self._view_size_cache = {}
+
+    # ------------------------------------------------------------------
+    # Loading and statistics
+
+    def load_table(self, name, columns):
+        schema = self.catalog.table(name)
+        self.tables[name] = Table(schema, columns)
+        self._bound_cache.clear()
+        self._view_size_cache.clear()
+
+    def table(self, name):
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise CatalogError(f"table {name!r} is not loaded") from None
+
+    def collect_statistics(self):
+        """Collect full statistics for every loaded table (and built view)."""
+        for table in self.tables.values():
+            self.statistics.put(TableStats.collect(table))
+        if self._built is not None:
+            for view_table in self._built.view_tables.values():
+                self._view_stats.put(TableStats.collect(view_table))
+
+    # ------------------------------------------------------------------
+    # Configurations
+
+    @property
+    def configuration(self):
+        if self._built is None:
+            return primary_configuration(self.catalog)
+        return self._built.configuration
+
+    def apply_configuration(self, config):
+        """Build ``config`` from scratch; returns a :class:`BuildReport`.
+
+        The build time covers loading the heaps, materializing the views,
+        and creating every index — mirroring how the paper's Table 1
+        reports per-configuration build times.
+        """
+        hw = self.system.hardware
+        seconds = 0.0
+        heap_bytes = 0
+        for table in self.tables.values():
+            pages = table.page_count()
+            seconds += pages * hw.page_write_s + table.row_count * hw.cpu_row_s
+            heap_bytes += int(table.byte_size() * self.system.heap_overhead)
+
+        state = _BuiltState(configuration=config)
+        view_bytes = 0
+        for view_def in config.views:
+            view_table, _input_rows = build_view(
+                view_def, self.tables, self.catalog
+            )
+            state.view_tables[view_def.name] = view_table
+            input_cost = self._view_input_cost(view_def)
+            seconds += cm.build_view(
+                hw,
+                input_cost,
+                view_table.row_count,
+                view_table.schema.row_width(),
+            )
+            view_bytes += int(
+                view_table.byte_size() * self.system.heap_overhead
+            )
+
+        index_bytes = 0
+        for ix in config.indexes:
+            target = self._index_target(ix, state)
+            data = IndexData(ix, target, self.system.index_overhead)
+            state.index_data[ix.name] = data
+            key_width = sum(
+                target.schema.column(c).width for c in ix.columns
+            )
+            pages = cm.bytes_to_pages(data.size.byte_size)
+            seconds += cm.build_index(
+                hw,
+                target.page_count(),
+                target.row_count,
+                key_width,
+                pages,
+            )
+            index_bytes += data.size.byte_size
+
+        self._built = state
+        self._view_stats = StatisticsCatalog()
+        for view_table in state.view_tables.values():
+            self._view_stats.put(TableStats.collect(view_table))
+        return BuildReport(
+            configuration=config.name,
+            build_seconds=seconds,
+            heap_bytes=heap_bytes,
+            index_bytes=index_bytes,
+            view_bytes=view_bytes,
+        )
+
+    def _index_target(self, ix, state):
+        if ix.table in state.view_tables:
+            return state.view_tables[ix.table]
+        return self.table(ix.table)
+
+    def _view_input_cost(self, view_def):
+        hw = self.system.hardware
+        cost = 0.0
+        for name in view_def.tables:
+            table = self.table(name)
+            cost += cm.seq_scan(hw, table.page_count(), table.row_count)
+        if view_def.is_join_view:
+            (t1, _), (t2, _) = view_def.join_pred
+            small = min(
+                self.table(t1).row_count, self.table(t2).row_count
+            )
+            big = max(self.table(t1).row_count, self.table(t2).row_count)
+            cost += cm.hash_build(hw, small, 32) + cm.hash_probe(hw, big)
+        return cost
+
+    def estimated_configuration_bytes(self, config):
+        """Size of a configuration *without building it* (what-if sizing).
+
+        This is what the recommender's space-budget arithmetic uses.
+        """
+        index_bytes = 0
+        for ix in config.indexes:
+            if ix.table in config.view_names():
+                rows, key_width = self._hypothetical_view_geometry(
+                    config, ix.table, ix.columns
+                )
+            else:
+                stats = self.statistics.table(ix.table)
+                rows = stats.row_count
+                schema = self.catalog.table(ix.table)
+                key_width = sum(
+                    schema.column(c).width for c in ix.columns
+                )
+            index_bytes += estimate_index_size(
+                rows, key_width, self.system.index_overhead
+            ).byte_size
+        view_bytes = 0
+        for view_def in config.views:
+            rows, width = self._hypothetical_view_size(view_def)
+            view_bytes += int(rows * width * self.system.heap_overhead)
+        return index_bytes + view_bytes
+
+    # ------------------------------------------------------------------
+    # Planning and execution
+
+    def bind(self, sql):
+        if isinstance(sql, BoundQuery):
+            return sql
+        if sql not in self._bound_cache:
+            self._bound_cache[sql] = Binder(self.catalog).bind(parse(sql))
+        return self._bound_cache[sql]
+
+    def planner_env(self):
+        """Environment describing the *current built* configuration."""
+        estimator = Estimator(self._merged_stats(), self.system.policy)
+        indexes, views = {}, []
+        if self._built is not None:
+            view_names = self._built.configuration.view_names()
+            view_indexes = {}
+            for ix in self._built.configuration.indexes:
+                data = self._built.index_data[ix.name]
+                info = IndexInfo.from_data(data)
+                if ix.table in view_names:
+                    view_indexes.setdefault(ix.table, []).append(info)
+                else:
+                    indexes.setdefault(ix.table, []).append(info)
+            for view_def in self._built.configuration.views:
+                view_table = self._built.view_tables[view_def.name]
+                views.append(
+                    ViewInfo(
+                        definition=view_def,
+                        rows=view_table.row_count,
+                        page_count=view_table.page_count(),
+                        row_width=view_table.schema.row_width(),
+                        indexes=view_indexes.get(view_def.name, []),
+                        hypothetical=False,
+                        data=view_table,
+                    )
+                )
+        return PlannerEnv(
+            catalog=self.catalog,
+            estimator=estimator,
+            hardware=self.system.hardware,
+            indexes=indexes,
+            views=views,
+        )
+
+    def hypothetical_env(self, config, force_hypothetical=False,
+                         oracle=False):
+        """What-if environment for a configuration that is *not* built.
+
+        Indexes that happen to exist in the current built configuration
+        keep their measured metadata; everything else is derived, and the
+        estimator runs under the degraded hypothetical policy.  With
+        ``force_hypothetical`` the degraded policy applies even when every
+        structure is built — recommenders compare candidate configurations
+        against the current one inside the same what-if session, so both
+        sides must be estimated at the same fidelity.
+
+        ``oracle`` keeps the full-fidelity estimator policy and assumes
+        well-clustered hypothetical indexes; it models a recommender with
+        ideal what-if statistics and exists for the ablation study of the
+        estimation gap Section 5 of the paper identifies.
+        """
+        built_by_name = {}
+        if self._built is not None:
+            built_by_name = dict(self._built.index_data)
+        any_hypothetical = bool(force_hypothetical)
+
+        view_infos = {}
+        for view_def in config.views:
+            if self._built is not None and \
+                    view_def.name in self._built.view_tables:
+                view_table = self._built.view_tables[view_def.name]
+                view_infos[view_def.name] = ViewInfo(
+                    definition=view_def,
+                    rows=view_table.row_count,
+                    page_count=view_table.page_count(),
+                    row_width=view_table.schema.row_width(),
+                    data=view_table,
+                )
+            else:
+                any_hypothetical = True
+                rows, width = self._hypothetical_view_size(view_def)
+                view_infos[view_def.name] = ViewInfo(
+                    definition=view_def,
+                    rows=int(rows),
+                    page_count=cm.bytes_to_pages(rows * width),
+                    row_width=width,
+                    hypothetical=True,
+                )
+
+        indexes = {}
+        view_names = set(view_infos)
+        for ix in config.indexes:
+            if ix.name in built_by_name and ix.table not in view_names:
+                info = IndexInfo.from_data(built_by_name[ix.name])
+            else:
+                any_hypothetical = True
+                if ix.table in view_names:
+                    vinfo = view_infos[ix.table]
+                    rows = vinfo.rows
+                    _, key_width = self._hypothetical_view_geometry(
+                        config, ix.table, ix.columns
+                    )
+                else:
+                    stats = self.statistics.table(ix.table)
+                    rows = stats.row_count
+                    schema = self.catalog.table(ix.table)
+                    key_width = sum(
+                        schema.column(c).width for c in ix.columns
+                    )
+                info = IndexInfo.hypothetical_on(
+                    ix, rows, key_width, self.system.index_overhead
+                )
+            if ix.table in view_names:
+                view_infos[ix.table].indexes.append(info)
+            else:
+                indexes.setdefault(ix.table, []).append(info)
+
+        policy = self.system.policy
+        if any_hypothetical and not oracle:
+            policy = policy.as_hypothetical()
+        if oracle:
+            for infos in indexes.values():
+                for info in infos:
+                    if info.hypothetical:
+                        info.cluster_factor = 0.25
+        estimator = Estimator(self._hypo_stats(view_infos), policy)
+        return PlannerEnv(
+            catalog=self.catalog,
+            estimator=estimator,
+            hardware=self.system.hardware,
+            indexes=indexes,
+            views=list(view_infos.values()),
+        )
+
+    def plan(self, sql):
+        """Optimize a query in the current configuration."""
+        bound = self.bind(sql)
+        return Planner(self.planner_env()).plan(bound)
+
+    def estimate(self, sql):
+        """Estimated cost ``E(q, C)`` in the current configuration."""
+        return self.plan(sql).est.cost
+
+    def estimate_hypothetical(self, sql, config, force_hypothetical=False,
+                              oracle=False):
+        """Hypothetical cost ``H(q, config, current)``."""
+        bound = self.bind(sql)
+        env = self.hypothetical_env(config, force_hypothetical, oracle)
+        plan = Planner(env).plan(bound)
+        return plan.est.cost
+
+    def execute(self, sql, timeout=DEFAULT_TIMEOUT):
+        """Plan and run a query; returns a :class:`QueryResult`.
+
+        A query that exceeds the (virtual) timeout is reported with
+        ``timed_out=True`` and ``elapsed`` clamped to the timeout, exactly
+        as the paper reports its ``t_out`` bin.
+        """
+        bound = self.bind(sql)
+        plan = Planner(self.planner_env()).plan(bound)
+        executor = Executor(
+            self._exec_tables(), self.system.hardware, timeout
+        )
+        try:
+            outcome = executor.run(plan)
+        except QueryTimeout:
+            return QueryResult(
+                sql=bound.sql,
+                elapsed=float(timeout),
+                timed_out=True,
+                plan=plan,
+            )
+        return QueryResult(
+            sql=bound.sql,
+            elapsed=outcome.elapsed,
+            timed_out=False,
+            plan=plan,
+            batch=outcome.batch,
+        )
+
+    # ------------------------------------------------------------------
+    # Inserts (Section 4.4)
+
+    def insert_rows(self, table_name, columns):
+        """Append rows; returns the virtual seconds the insert cost.
+
+        The charge covers the heap append plus maintenance of every index
+        on the table in the current configuration; built index data and
+        dependent views are refreshed so later queries stay correct.
+        """
+        table = self.table(table_name)
+        appended = table.append_rows(columns)
+        self._view_size_cache.clear()
+        heights = []
+        if self._built is not None:
+            for ix in self._built.configuration.indexes:
+                if ix.table == table_name:
+                    heights.append(
+                        self._built.index_data[ix.name].size.height
+                    )
+            for ix in self._built.configuration.indexes:
+                if ix.table == table_name:
+                    self._built.index_data[ix.name] = IndexData(
+                        ix, table, self.system.index_overhead
+                    )
+            for view_def in self._built.configuration.views:
+                if table_name in view_def.tables:
+                    view_table, _ = build_view(
+                        view_def, self.tables, self.catalog
+                    )
+                    self._built.view_tables[view_def.name] = view_table
+        return cm.insert_rows(
+            self.system.hardware,
+            appended,
+            table.schema.row_width(),
+            heights,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+
+    def _exec_tables(self):
+        tables = dict(self.tables)
+        if self._built is not None:
+            tables.update(self._built.view_tables)
+        return tables
+
+    def _merged_stats(self):
+        merged = StatisticsCatalog()
+        for name in self.statistics.table_names():
+            merged.put(self.statistics.table(name))
+        for name in self._view_stats.table_names():
+            merged.put(self._view_stats.table(name))
+        return merged
+
+    def _hypo_stats(self, view_infos):
+        merged = StatisticsCatalog()
+        for name in self.statistics.table_names():
+            merged.put(self.statistics.table(name))
+        for name, vinfo in view_infos.items():
+            if vinfo.data is not None:
+                merged.put(TableStats.collect(vinfo.data))
+        return merged
+
+    def _hypothetical_view_size(self, view_def):
+        """(rows, row_width) estimate for an unbuilt view.
+
+        Single-table views are sized from the data itself (the exact
+        joint distinct count — the stand-in for the sampling pass the
+        commercial advisors run when sizing candidate views); join views
+        fall back to the estimator's damped distinct-product, which is
+        why join-view candidates only survive when the statistics make
+        the compression visible.
+        """
+        width = sum(
+            self.catalog.table(vc.table).column(vc.column).width
+            for vc in view_def.group_columns
+        ) + 8 + cm.ROW_OVERHEAD
+        if not view_def.is_join_view:
+            cached = self._view_size_cache.get(view_def.name)
+            if cached is None:
+                table = self.table(view_def.tables[0])
+                arrays = [
+                    table.column(vc.column)
+                    for vc in view_def.group_columns
+                ]
+                if table.row_count == 0:
+                    distinct = 0
+                elif len(arrays) == 1:
+                    distinct = len(np.unique(arrays[0]))
+                else:
+                    order = np.lexsort(tuple(reversed(arrays)))
+                    change = np.zeros(table.row_count, dtype=bool)
+                    change[0] = True
+                    for arr in arrays:
+                        sorted_arr = arr[order]
+                        change[1:] |= sorted_arr[1:] != sorted_arr[:-1]
+                    distinct = int(change.sum())
+                cached = max(1, distinct)
+                self._view_size_cache[view_def.name] = cached
+            return cached, width
+
+        estimator = Estimator(self.statistics, self.system.policy)
+        (t1, c1), (t2, c2) = view_def.join_pred
+        sel = estimator.join_selectivity(t1, c1, t2, c2)
+        input_rows = estimator.join_rows(
+            estimator.table_rows(t1), estimator.table_rows(t2), sel
+        )
+        ndvs = [
+            estimator.n_distinct(vc.table, vc.column)
+            for vc in view_def.group_columns
+        ]
+        rows = estimator.group_count(input_rows, ndvs)
+        return rows, width
+
+    def _hypothetical_view_geometry(self, config, view_name, columns):
+        view_def = next(v for v in config.views if v.name == view_name)
+        rows, _ = self._hypothetical_view_size(view_def)
+        schema = view_def.view_schema(self.catalog)
+        key_width = sum(schema.column(c).width for c in columns)
+        return int(rows), key_width

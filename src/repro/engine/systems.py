@@ -1,0 +1,97 @@
+"""System profiles.
+
+The paper benchmarks two commercial RDBMSs on NREF ("System A" and
+"System B") and one of them on TPC-H ("System C").  A
+:class:`SystemProfile` captures everything that made those systems behave
+differently: the machine they ran on (Table 1 shows different build times
+for identical configurations), their storage overheads (A's NREF 1C was
+35.7 GB where B's was 17.1 GB), their optimizer's estimation fidelity, and
+their recommender's heuristics (System A's recommender failed outright on
+NREF3J; System C's recommends materialized views).
+"""
+
+from dataclasses import dataclass
+
+from ..common.hardware import desktop_2004
+from ..optimizer.policy import EstimatorPolicy
+from ..recommender.profiles import RecommenderProfile
+
+
+@dataclass(frozen=True)
+class SystemProfile:
+    """One simulated commercial RDBMS."""
+
+    name: str
+    hardware: object                  # HardwareProfile
+    policy: EstimatorPolicy
+    recommender: RecommenderProfile
+    index_overhead: float = 1.0       # index storage inflation factor
+    heap_overhead: float = 1.2        # table storage inflation factor
+
+
+def system_a():
+    """System A: faster machine, bulky index format, candidate-limited
+    recommender that collapses on workloads with too many candidate
+    structures (reproducing the NREF3J failure)."""
+    return SystemProfile(
+        name="A",
+        hardware=desktop_2004("sysA-p4-2.6GHz"),
+        policy=EstimatorPolicy(),
+        recommender=RecommenderProfile(
+            name="A",
+            leading_strategy="selective-first",
+            max_candidates=64,
+            consider_views=False,
+            min_improvement=0.01,
+        ),
+        index_overhead=2.1,
+        heap_overhead=1.25,
+    )
+
+
+def system_b():
+    """System B: slower machine, compact indexes, and a recommender that
+    leads composite indexes with grouping columns — which is why its
+    NREF2J recommendation barely improves on P (Figure 5)."""
+    return SystemProfile(
+        name="B",
+        hardware=desktop_2004("sysB-p4-2.0GHz").scaled(1.6, "sysB-p4-2.0GHz"),
+        policy=EstimatorPolicy(groupby_damping=0.9),
+        recommender=RecommenderProfile(
+            name="B",
+            leading_strategy="groupby-first",
+            max_candidates=None,
+            consider_views=False,
+            min_improvement=0.05,
+        ),
+        index_overhead=1.0,
+        heap_overhead=1.1,
+    )
+
+
+def system_c():
+    """System C: the system used for the TPC-H experiments; its
+    recommender also proposes (indexed) materialized views (Table 3)."""
+    return SystemProfile(
+        name="C",
+        hardware=desktop_2004("sysC-p4-2.4GHz").scaled(1.2, "sysC-p4-2.4GHz"),
+        policy=EstimatorPolicy(),
+        recommender=RecommenderProfile(
+            name="C",
+            leading_strategy="selective-first",
+            max_candidates=None,
+            consider_views=True,
+            min_improvement=0.003,
+        ),
+        index_overhead=1.3,
+        heap_overhead=1.2,
+    )
+
+
+def by_name(name):
+    """Look up a built-in system profile by its letter."""
+    systems = {"A": system_a, "B": system_b, "C": system_c}
+    try:
+        return systems[name.upper()]()
+    except KeyError:
+        raise ValueError(f"unknown system {name!r}") from None

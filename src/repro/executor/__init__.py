@@ -1,0 +1,6 @@
+"""Vectorized plan execution under the virtual clock."""
+
+from .batch import Batch
+from .engine import Executor, ExecutionResult, VirtualClock
+
+__all__ = ["Batch", "Executor", "ExecutionResult", "VirtualClock"]

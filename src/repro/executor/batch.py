@@ -1,0 +1,91 @@
+"""Execution batches: the materialized output of a physical operator."""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Batch:
+    """Columnar intermediate result.
+
+    ``columns`` maps batch keys (``"alias.column"`` or output labels) to
+    arrays of equal length.  ``weights`` (optional) carries the row
+    multiplicity introduced by pre-aggregated view rewrites; ``widths``
+    tracks per-key byte widths for spill accounting.
+    """
+
+    columns: dict
+    widths: dict = field(default_factory=dict)
+    weights: np.ndarray = None
+
+    @property
+    def rows(self):
+        if not self.columns:
+            return 0
+        return len(next(iter(self.columns.values())))
+
+    @property
+    def row_width(self):
+        return sum(self.widths.values()) + 8
+
+    def mask(self, keep):
+        """A new batch with rows where ``keep`` is True."""
+        return Batch(
+            columns={k: v[keep] for k, v in self.columns.items()},
+            widths=dict(self.widths),
+            weights=None if self.weights is None else self.weights[keep],
+        )
+
+    def take(self, positions):
+        """A new batch gathered at integer positions (with repetition)."""
+        return Batch(
+            columns={k: v[positions] for k, v in self.columns.items()},
+            widths=dict(self.widths),
+            weights=None if self.weights is None else self.weights[positions],
+        )
+
+    def weight_array(self):
+        """Weights as floats, defaulting to all-ones."""
+        if self.weights is None:
+            return np.ones(self.rows, dtype=np.float64)
+        return self.weights.astype(np.float64)
+
+
+def factorize(values):
+    """Dense integer codes for an array (group/join key encoding)."""
+    _, codes = np.unique(values, return_inverse=True)
+    return codes.astype(np.int64)
+
+
+def combine_codes(code_arrays):
+    """Combine multiple per-column code arrays into one code per row."""
+    if len(code_arrays) == 1:
+        return code_arrays[0]
+    combined = code_arrays[0].copy()
+    for codes in code_arrays[1:]:
+        span = int(codes.max()) + 1 if len(codes) else 1
+        combined = combined * span + codes
+    # Re-densify to keep magnitudes bounded for further combining.
+    return factorize(combined)
+
+
+def join_codes(left_arrays, right_arrays):
+    """Comparable integer codes for join keys across two batches.
+
+    Columns are factorized jointly so equal values on either side get the
+    same code.
+    """
+    left_codes, right_codes = [], []
+    for larr, rarr in zip(left_arrays, right_arrays):
+        both = np.concatenate([larr, rarr])
+        codes = factorize(both)
+        left_codes.append(codes[: len(larr)])
+        right_codes.append(codes[len(larr):])
+    if len(left_codes) == 1:
+        return left_codes[0], right_codes[0]
+    combined = combine_codes(
+        [np.concatenate([l, r]) for l, r in zip(left_codes, right_codes)]
+    )
+    n_left = len(left_codes[0])
+    return combined[:n_left], combined[n_left:]

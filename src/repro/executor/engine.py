@@ -1,0 +1,515 @@
+"""Plan execution against the virtual clock.
+
+The executor runs physical plans *for real* over the columnar tables —
+all intermediate cardinalities are exact — while charging the shared cost
+model (:mod:`repro.optimizer.cost_model`) with those actual counts.  The
+accumulated charge is the query's **actual cost** ``A(q, C)`` in the
+paper's terminology.  A query whose charge crosses the timeout raises
+:class:`~repro.common.errors.QueryTimeout` *before* materializing the
+offending intermediate, so runaway plans (the paper's ``t_out`` bin) are
+cheap to detect.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..common.errors import ExecutionError, QueryTimeout
+from ..optimizer import cost_model as cm
+from ..optimizer.plans import (
+    HashAggregate,
+    HashJoin,
+    IndexNLJoin,
+    IndexScan,
+    Project,
+    SemiIndexScan,
+    SeqScan,
+    ViewScan,
+)
+from ..views.matview import COUNT_COLUMN
+from .batch import Batch, combine_codes, factorize, join_codes
+
+MAX_MATERIALIZED_ROWS = 8_000_000
+
+
+class VirtualClock:
+    """Accumulates virtual seconds; enforces the per-query timeout."""
+
+    def __init__(self, timeout=None):
+        self.elapsed = 0.0
+        self.timeout = timeout
+
+    def charge(self, seconds):
+        self.elapsed += seconds
+        if self.timeout is not None and self.elapsed > self.timeout:
+            raise QueryTimeout(self.timeout, self.elapsed)
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of running one plan."""
+
+    batch: Batch
+    elapsed: float
+    plan: object
+
+
+class Executor:
+    """Executes plans over built tables, indexes, and views."""
+
+    def __init__(self, tables, hardware, timeout=None):
+        self._tables = tables
+        self._hw = hardware
+        self._timeout = timeout
+
+    def run(self, plan):
+        """Execute a plan; returns an :class:`ExecutionResult`.
+
+        Raises :class:`QueryTimeout` when the virtual clock exceeds the
+        timeout (the charge so far is available on the exception).
+        """
+        clock = VirtualClock(self._timeout)
+        batch = self._exec(plan, clock)
+        return ExecutionResult(batch=batch, elapsed=clock.elapsed, plan=plan)
+
+    # ------------------------------------------------------------------
+
+    def _exec(self, node, clock):
+        if isinstance(node, SeqScan):
+            return self._seq_scan(node, clock)
+        if isinstance(node, IndexScan):
+            return self._index_scan(node, clock)
+        if isinstance(node, SemiIndexScan):
+            return self._semi_index_scan(node, clock)
+        if isinstance(node, ViewScan):
+            return self._view_scan(node, clock)
+        if isinstance(node, HashJoin):
+            return self._hash_join(node, clock)
+        if isinstance(node, IndexNLJoin):
+            return self._inl_join(node, clock)
+        if isinstance(node, HashAggregate):
+            return self._aggregate(node, clock)
+        if isinstance(node, Project):
+            child = self._exec(node.child, clock)
+            clock.charge(cm.filter_rows(self._hw, child.rows))
+            return Batch(
+                columns={k: child.columns[k] for k in node.keys},
+                widths={k: child.widths[k] for k in node.keys},
+                weights=child.weights,
+            )
+        raise ExecutionError(f"no executor for node {type(node).__name__}")
+
+    # ------------------------------------------------------------------
+    # Scans
+
+    def _table(self, name):
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise ExecutionError(f"table {name!r} is not loaded") from None
+
+    def _base_batch(self, alias, table, columns):
+        widths = {
+            f"{alias}.{c}": table.schema.column(c).width for c in columns
+        }
+        return Batch(
+            columns={
+                f"{alias}.{c}": table.column(c) for c in columns
+            },
+            widths=widths,
+        )
+
+    def _apply_filters(self, batch, filters, clock):
+        if not filters:
+            return batch
+        clock.charge(cm.filter_rows(self._hw, batch.rows, len(filters)))
+        keep = np.ones(batch.rows, dtype=bool)
+        for flt in filters:
+            values = batch.columns[flt.key]
+            keep &= _compare(values, flt.op, flt.value)
+        return batch.mask(keep)
+
+    def _apply_semis(self, batch, semi_filters, clock):
+        for semi in semi_filters:
+            allowed = self._semi_allowed(semi.source, clock)
+            clock.charge(cm.filter_rows(self._hw, batch.rows))
+            keep = np.isin(batch.columns[semi.key], allowed)
+            batch = batch.mask(keep)
+        return batch
+
+    def _semi_allowed(self, source, clock):
+        semi = source.semi
+        if source.via == "view":
+            view = source.view
+            clock.charge(
+                cm.seq_scan(self._hw, view.page_count, view.rows)
+            )
+            table = view.data
+            values = table.column(source.view.definition.group_columns[0].name)
+            counts = table.column(COUNT_COLUMN)
+        elif source.via == "index_only":
+            info = source.index
+            clock.charge(
+                cm.index_descend(self._hw, info.height)
+                + info.leaf_pages * self._hw.seq_page_read_s
+                + info.entries * self._hw.cpu_row_s * 2
+            )
+            keys = info.data.leading_keys
+            values, counts = np.unique(keys, return_counts=True)
+        else:
+            table = self._table(semi.sub_table)
+            column = table.column(semi.sub_column)
+            values, counts = np.unique(column, return_counts=True)
+            clock.charge(
+                cm.seq_scan(self._hw, table.page_count(), table.row_count)
+                + cm.hash_aggregate(
+                    self._hw,
+                    table.row_count,
+                    len(values),
+                    table.schema.column(semi.sub_column).width,
+                )
+            )
+        keep = _compare(counts, semi.having_op, semi.having_value)
+        return values[keep]
+
+    def _seq_scan(self, node, clock):
+        table = self._table(node.table)
+        clock.charge(
+            cm.seq_scan(self._hw, table.page_count(), table.row_count)
+        )
+        batch = self._base_batch(node.alias, table, node.columns)
+        batch = self._apply_filters(batch, node.filters, clock)
+        batch = self._apply_semis(batch, node.semi_filters, clock)
+        return batch
+
+    def _index_scan(self, node, clock):
+        table = self._table(node.table)
+        info = node.index
+        if info.data is None:
+            raise ExecutionError(
+                f"index {info.definition.name} is hypothetical; "
+                "plans against hypothetical configurations cannot run"
+            )
+        if node.prefix_filters:
+            values = tuple(f.value for f in node.prefix_filters)
+            row_ids = info.data.lookup_eq(values)
+            matched = len(row_ids)
+            clock.charge(
+                cm.index_descend(self._hw, info.height)
+                + cm.index_leaf_range(
+                    self._hw, matched, info.entries, info.leaf_pages
+                )
+            )
+            if not node.index_only:
+                clock.charge(
+                    cm.heap_fetch(
+                        self._hw,
+                        matched,
+                        info.cluster_factor,
+                        table.page_count(),
+                        table.row_count,
+                    )
+                )
+            columns = table.take(row_ids, node.columns)
+            widths = {
+                f"{node.alias}.{c}": table.schema.column(c).width
+                for c in node.columns
+            }
+            batch = Batch(
+                columns={
+                    f"{node.alias}.{c}": columns[c] for c in node.columns
+                },
+                widths=widths,
+            )
+        else:
+            # Covering full index-only scan.
+            clock.charge(
+                cm.index_descend(self._hw, info.height)
+                + info.leaf_pages * self._hw.seq_page_read_s
+                + info.entries * self._hw.cpu_row_s
+            )
+            batch = self._base_batch(node.alias, table, node.columns)
+        batch = self._apply_filters(batch, node.residual_filters, clock)
+        batch = self._apply_semis(batch, node.semi_filters, clock)
+        return batch
+
+    def _semi_index_scan(self, node, clock):
+        table = self._table(node.table)
+        info = node.index
+        if info.data is None:
+            raise ExecutionError(
+                f"index {info.definition.name} is hypothetical; cannot run"
+            )
+        allowed = self._semi_allowed(node.driving.source, clock)
+        counts = info.data.count_many(allowed)
+        matched = int(counts.sum())
+        clock.charge(
+            cm.index_probes(
+                self._hw, len(allowed), info.entries, info.leaf_pages
+            )
+        )
+        clock.charge(
+            cm.heap_fetch(
+                self._hw, matched, info.cluster_factor,
+                table.page_count(), table.row_count,
+            )
+        )
+        _guard_materialization(matched)
+        (row_ids, _), __ = info.data.probe_many(allowed)
+        columns = table.take(row_ids, node.columns)
+        widths = {
+            f"{node.alias}.{c}": table.schema.column(c).width
+            for c in node.columns
+        }
+        batch = Batch(
+            columns={
+                f"{node.alias}.{c}": columns[c] for c in node.columns
+            },
+            widths=widths,
+        )
+        batch = self._apply_filters(batch, node.residual_filters, clock)
+        batch = self._apply_semis(batch, node.semi_filters, clock)
+        return batch
+
+    def _view_scan(self, node, clock):
+        view = node.view
+        if view.data is None:
+            raise ExecutionError(
+                f"view {view.definition.name} is hypothetical; cannot run"
+            )
+        table = view.data
+        clock.charge(cm.seq_scan(self._hw, view.page_count, view.rows))
+        schema = table.schema
+        columns, widths = {}, {}
+        for batch_key, view_col in node.column_map.items():
+            columns[batch_key] = table.column(view_col)
+            widths[batch_key] = schema.column(view_col).width
+        weights = table.column(COUNT_COLUMN).astype(np.float64)
+        batch = Batch(columns=columns, widths=widths, weights=weights)
+        if node.filters:
+            clock.charge(
+                cm.filter_rows(self._hw, batch.rows, len(node.filters))
+            )
+            keep = np.ones(batch.rows, dtype=bool)
+            for flt in node.filters:
+                values = table.column(flt.column)
+                keep &= _compare(values, flt.op, flt.value)
+            batch = batch.mask(keep)
+        return batch
+
+    # ------------------------------------------------------------------
+    # Joins
+
+    def _hash_join(self, node, clock):
+        left = self._exec(node.left, clock)
+        right = self._exec(node.right, clock)
+
+        clock.charge(cm.hash_build(self._hw, right.rows, right.row_width))
+        clock.charge(cm.hash_probe(self._hw, left.rows))
+
+        lcodes, rcodes = join_codes(
+            [left.columns[k] for k in node.left_keys],
+            [right.columns[k] for k in node.right_keys],
+        )
+        order = np.argsort(rcodes, kind="stable")
+        sorted_codes = rcodes[order]
+        lows = np.searchsorted(sorted_codes, lcodes, side="left")
+        highs = np.searchsorted(sorted_codes, lcodes, side="right")
+        counts = highs - lows
+        out_rows = int(counts.sum())
+
+        out_width = left.row_width + right.row_width
+        clock.charge(cm.join_output(self._hw, out_rows, out_width))
+        _guard_materialization(out_rows)
+
+        left_pos = np.repeat(np.arange(left.rows), counts)
+        starts = np.repeat(lows, counts)
+        offsets = np.arange(out_rows) - np.repeat(
+            np.concatenate(([0], np.cumsum(counts)[:-1])), counts
+        ) if out_rows else np.empty(0, dtype=np.int64)
+        right_pos = order[starts + offsets] if out_rows else (
+            np.empty(0, dtype=np.int64)
+        )
+
+        lbatch = left.take(left_pos)
+        rbatch = right.take(right_pos)
+        columns = dict(lbatch.columns)
+        columns.update(rbatch.columns)
+        widths = dict(lbatch.widths)
+        widths.update(rbatch.widths)
+        weights = None
+        if left.weights is not None or right.weights is not None:
+            weights = lbatch.weight_array() * rbatch.weight_array()
+        return Batch(columns=columns, widths=widths, weights=weights)
+
+    def _inl_join(self, node, clock):
+        outer = self._exec(node.outer, clock)
+        table = self._table(node.table)
+        info = node.index
+        if info.data is None:
+            raise ExecutionError(
+                f"index {info.definition.name} is hypothetical; cannot run"
+            )
+        probes = outer.columns[node.outer_key]
+        counts = info.data.count_many(probes)
+        matched = int(counts.sum())
+        clock.charge(
+            cm.index_probes(
+                self._hw, len(probes), info.entries, info.leaf_pages
+            )
+        )
+        if node.index_only:
+            clock.charge(matched * self._hw.cpu_row_s)
+        else:
+            clock.charge(
+                cm.heap_fetch(
+                    self._hw, matched, info.cluster_factor,
+                    table.page_count(), table.row_count,
+                )
+            )
+        inner_width = sum(
+            table.schema.column(c).width for c in node.columns
+        ) + cm.ROW_OVERHEAD
+        clock.charge(
+            cm.join_output(self._hw, matched, outer.row_width + inner_width)
+        )
+        _guard_materialization(matched)
+
+        (row_ids, probe_idx), _ = info.data.probe_many(probes)
+        obatch = outer.take(probe_idx)
+        inner_cols = table.take(row_ids, node.columns)
+        columns = dict(obatch.columns)
+        widths = dict(obatch.widths)
+        for col in node.columns:
+            columns[f"{node.alias}.{col}"] = inner_cols[col]
+            widths[f"{node.alias}.{col}"] = table.schema.column(col).width
+        batch = Batch(columns=columns, widths=widths, weights=obatch.weights)
+
+        extra = getattr(node, "extra_preds", [])
+        if extra:
+            clock.charge(cm.filter_rows(self._hw, batch.rows, len(extra)))
+            keep = np.ones(batch.rows, dtype=bool)
+            for outer_key, inner_col in extra:
+                keep &= (
+                    batch.columns[outer_key]
+                    == batch.columns[f"{node.alias}.{inner_col}"]
+                )
+            batch = batch.mask(keep)
+        batch = self._apply_filters(batch, node.residual_filters, clock)
+        batch = self._apply_semis(batch, node.semi_filters, clock)
+        return batch
+
+    # ------------------------------------------------------------------
+    # Aggregation
+
+    def _aggregate(self, node, clock):
+        child = self._exec(node.child, clock)
+        rows = child.rows
+
+        if node.group_keys:
+            codes = combine_codes(
+                [factorize(child.columns[k]) for k in node.group_keys]
+            )
+            n_groups = int(codes.max()) + 1 if rows else 0
+        else:
+            codes = np.zeros(rows, dtype=np.int64)
+            n_groups = 1 if rows else 0
+
+        clock.charge(
+            cm.hash_aggregate(
+                self._hw, rows, max(n_groups, 1), child.row_width
+            )
+        )
+
+        columns, widths = {}, {}
+        if rows:
+            order = np.argsort(codes, kind="stable")
+            sorted_codes = codes[order]
+            firsts = order[
+                np.searchsorted(sorted_codes, np.arange(n_groups), side="left")
+            ]
+        else:
+            firsts = np.empty(0, dtype=np.int64)
+        for key in node.group_keys:
+            columns[key] = child.columns[key][firsts]
+            widths[key] = child.widths[key]
+
+        wts = child.weight_array()
+        for i, agg in enumerate(node.aggregates):
+            label = f"agg{i}:{agg.label()}"
+            if agg.func == "count" and not agg.distinct:
+                values = np.bincount(
+                    codes, weights=wts, minlength=max(n_groups, 1)
+                )[:n_groups] if rows else np.empty(0)
+                columns[label] = np.round(values).astype(np.int64)
+            elif agg.func == "count" and agg.distinct:
+                columns[label] = self._count_distinct(
+                    codes, child.columns[str(agg.arg)], n_groups
+                )
+            elif agg.func in ("sum", "avg"):
+                arg = child.columns[str(agg.arg)].astype(np.float64)
+                sums = np.bincount(
+                    codes, weights=arg * wts, minlength=max(n_groups, 1)
+                )[:n_groups] if rows else np.empty(0)
+                if agg.func == "sum":
+                    columns[label] = sums
+                else:
+                    cnt = np.bincount(
+                        codes, weights=wts, minlength=max(n_groups, 1)
+                    )[:n_groups] if rows else np.empty(0)
+                    columns[label] = sums / np.maximum(cnt, 1)
+            elif agg.func in ("min", "max"):
+                columns[label] = self._min_max(
+                    codes, child.columns[str(agg.arg)], n_groups, agg.func
+                )
+            else:
+                raise ExecutionError(f"unsupported aggregate {agg.func!r}")
+            widths[label] = 8
+        return Batch(columns=columns, widths=widths)
+
+    @staticmethod
+    def _count_distinct(codes, values, n_groups):
+        if len(codes) == 0:
+            return np.empty(0, dtype=np.int64)
+        vcodes = factorize(values)
+        span = int(vcodes.max()) + 1
+        pairs = np.unique(codes * span + vcodes)
+        group_of_pair = pairs // span
+        return np.bincount(group_of_pair, minlength=n_groups).astype(np.int64)
+
+    @staticmethod
+    def _min_max(codes, values, n_groups, func):
+        if len(codes) == 0:
+            return np.empty(0, dtype=values.dtype)
+        order = np.lexsort((values, codes))
+        sorted_codes = codes[order]
+        sorted_values = values[order]
+        starts = np.searchsorted(sorted_codes, np.arange(n_groups), "left")
+        if func == "min":
+            return sorted_values[starts]
+        ends = np.searchsorted(sorted_codes, np.arange(n_groups), "right")
+        return sorted_values[ends - 1]
+
+
+def _compare(values, op, literal):
+    if op == "=":
+        return values == literal
+    if op == "<>":
+        return values != literal
+    if op == "<":
+        return values < literal
+    if op == "<=":
+        return values <= literal
+    if op == ">":
+        return values > literal
+    if op == ">=":
+        return values >= literal
+    raise ExecutionError(f"unsupported comparison operator {op!r}")
+
+
+def _guard_materialization(rows):
+    if rows > MAX_MATERIALIZED_ROWS:
+        raise ExecutionError(
+            f"refusing to materialize {rows} rows; the cost model should "
+            "have timed this plan out first — check the hardware profile"
+        )

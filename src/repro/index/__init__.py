@@ -1,0 +1,7 @@
+"""B+-tree indexes: definitions, size model, built data."""
+
+from .btree import BPlusTree
+from .data import IndexData
+from .definition import IndexDefinition, estimate_index_size
+
+__all__ = ["BPlusTree", "IndexData", "IndexDefinition", "estimate_index_size"]

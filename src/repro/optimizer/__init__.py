@@ -1,0 +1,12 @@
+"""Cost-based optimizer: estimator, cost model, planner, what-if."""
+
+from .environment import IndexInfo, PlannerEnv, ViewInfo
+from .estimator import Estimator
+from .planner import Planner
+from .plans import explain
+from .policy import EstimatorPolicy
+
+__all__ = [
+    "Estimator", "EstimatorPolicy", "IndexInfo", "Planner", "PlannerEnv",
+    "ViewInfo", "explain",
+]

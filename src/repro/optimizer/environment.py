@@ -1,0 +1,106 @@
+"""Planner environment: what physical structures exist (or would exist).
+
+The same planner serves three estimation modes, distinguished purely by
+what the environment contains:
+
+* **real** — built indexes/views with measured metadata (cluster factors,
+  actual view sizes); used for ``E(q, C)`` estimates and for execution;
+* **hypothetical** — :class:`IndexInfo`/:class:`ViewInfo` derived from
+  size formulas with worst-case cluster factors, paired with the degraded
+  estimator policy; used for ``H(q, Ch, Ca)`` what-if calls, i.e. by the
+  recommenders.
+"""
+
+from dataclasses import dataclass, field
+
+from ..index.definition import estimate_index_size
+
+
+@dataclass
+class IndexInfo:
+    """Metadata the optimizer needs about one (possibly hypothetical) index."""
+
+    definition: object             # IndexDefinition
+    entries: int
+    leaf_pages: int
+    height: int
+    cluster_factor: float
+    hypothetical: bool = False
+    data: object = None            # IndexData when built
+
+    @classmethod
+    def from_data(cls, index_data):
+        """Wrap a built index."""
+        return cls(
+            definition=index_data.definition,
+            entries=index_data.entry_count,
+            leaf_pages=index_data.size.leaf_pages,
+            height=index_data.size.height,
+            cluster_factor=index_data.cluster_factor,
+            hypothetical=False,
+            data=index_data,
+        )
+
+    @classmethod
+    def hypothetical_on(cls, definition, row_count, key_width,
+                        overhead_factor=1.0):
+        """Derive what-if metadata for an index that does not exist.
+
+        The cluster factor is pinned at the conservative worst case (1.0):
+        without building the index the system cannot know how correlated
+        the key order is with the heap order.  This is the main driver of
+        the paper's H-vs-E estimate gap (Figure 10).
+        """
+        size = estimate_index_size(row_count, key_width, overhead_factor)
+        return cls(
+            definition=definition,
+            entries=row_count,
+            leaf_pages=size.leaf_pages,
+            height=size.height,
+            cluster_factor=1.0,
+            hypothetical=True,
+        )
+
+
+@dataclass
+class ViewInfo:
+    """Metadata about one (possibly hypothetical) materialized view."""
+
+    definition: object             # MatViewDefinition
+    rows: int
+    page_count: int
+    row_width: int
+    indexes: list = field(default_factory=list)
+    hypothetical: bool = False
+    data: object = None            # built Table when real
+
+    def index_on(self, column):
+        """A view index led by ``column``, if any."""
+        for info in self.indexes:
+            if info.definition.columns[0] == column:
+                return info
+        return None
+
+
+@dataclass
+class PlannerEnv:
+    """Everything the planner consults besides the query itself."""
+
+    catalog: object                # Catalog
+    estimator: object              # Estimator
+    hardware: object               # HardwareProfile
+    indexes: dict = field(default_factory=dict)   # table -> [IndexInfo]
+    views: list = field(default_factory=list)     # [ViewInfo]
+
+    def indexes_on(self, table):
+        return self.indexes.get(table, [])
+
+    def views_on_table(self, table):
+        """Single-table aggregate views over ``table``."""
+        return [
+            v for v in self.views
+            if not v.definition.is_join_view and v.definition.tables[0] == table
+        ]
+
+    def join_views(self):
+        return [v for v in self.views if v.definition.is_join_view]

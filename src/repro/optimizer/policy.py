@@ -1,0 +1,33 @@
+"""Estimator policies.
+
+A policy bundles the estimation assumptions one "system" makes.  Real
+configurations are estimated with the system's full fidelity
+(``for_system``); what-if calls about hypothetical configurations use the
+degraded ``hypothetical`` variant — no MCV lookups, no frequency profile,
+worst-case cluster factors — reproducing the paper's Figure 10 finding
+that hypothetical estimates are systematically more conservative than
+estimates taken in the target configuration.
+"""
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class EstimatorPolicy:
+    """Knobs of the cardinality estimator."""
+
+    use_mcvs: bool = True
+    use_frequency_profile: bool = True
+    default_semijoin_selectivity: float = 0.25
+    default_eq_selectivity: float = 0.01
+    groupby_damping: float = 0.8
+    hypothetical: bool = False
+
+    def as_hypothetical(self):
+        """The degraded policy used for what-if estimation."""
+        return replace(
+            self,
+            use_mcvs=False,
+            use_frequency_profile=False,
+            hypothetical=True,
+        )

@@ -1,0 +1,13 @@
+"""Configuration recommenders."""
+
+from .goal_driven import GoalDrivenRecommender, GoalRecommendation
+from .profiles import RecommenderProfile
+from .whatif import RecommendationReport, WhatIfRecommender
+
+__all__ = [
+    "GoalDrivenRecommender",
+    "GoalRecommendation",
+    "RecommendationReport",
+    "RecommenderProfile",
+    "WhatIfRecommender",
+]

@@ -1,0 +1,186 @@
+"""Candidate generation for the what-if recommender.
+
+Per query, the advisor derives *indexable column roles* — equality-filter
+columns (E), join columns (J), IN-subquery columns (S), and group-by
+columns (G) — and proposes:
+
+* single-column indexes on every E/J/S/G column;
+* composite indexes whose column order follows the system's
+  ``leading_strategy`` (selective-first vs groupby-first), up to the
+  profile's ``max_index_width``;
+* for view-capable systems, single-table aggregate views answering the
+  IN-subqueries and join aggregate views covering a query's join pair.
+
+This mirrors the per-query "candidate configuration" stage of the
+AutoAdmin / DB2 Advisor architecture the paper describes in Section 2.2.
+"""
+
+from dataclasses import dataclass, field
+
+from ..index.definition import IndexDefinition
+from ..views.matview import MatViewDefinition, ViewColumn
+
+
+@dataclass
+class QueryRoles:
+    """Column roles of one bound query, per base table."""
+
+    eq_filter: dict = field(default_factory=dict)   # table -> [col]
+    join: dict = field(default_factory=dict)
+    semi: dict = field(default_factory=dict)
+    group_by: dict = field(default_factory=dict)
+
+    def tables(self):
+        names = set()
+        for mapping in (self.eq_filter, self.join, self.semi, self.group_by):
+            names.update(mapping)
+        return sorted(names)
+
+    def columns(self, table):
+        """Role-ordered distinct columns of one table."""
+        ordered = []
+        for mapping in (self.eq_filter, self.join, self.semi, self.group_by):
+            for col in mapping.get(table, []):
+                if col not in ordered:
+                    ordered.append(col)
+        return ordered
+
+
+def roles_of(bound):
+    """Extract :class:`QueryRoles` from a bound query."""
+    roles = QueryRoles()
+
+    def add(mapping, table, column):
+        cols = mapping.setdefault(table, [])
+        if column not in cols:
+            cols.append(column)
+
+    for flt in bound.filters:
+        if flt.op == "=":
+            add(roles.eq_filter, bound.relations[flt.target.alias],
+                flt.target.column)
+    for pred in bound.join_preds:
+        for side in (pred.left, pred.right):
+            add(roles.join, bound.relations[side.alias], side.column)
+    for semi in bound.semijoins:
+        add(roles.semi, bound.relations[semi.target.alias],
+            semi.target.column)
+        add(roles.semi, semi.sub_table, semi.sub_column)
+    for col in bound.group_by:
+        add(roles.group_by, bound.relations[col.alias], col.column)
+    return roles
+
+
+def _ordered_columns(roles, table, strategy):
+    eq = roles.eq_filter.get(table, [])
+    join = roles.join.get(table, [])
+    semi = roles.semi.get(table, [])
+    group = roles.group_by.get(table, [])
+    if strategy == "groupby-first":
+        ordered = group + eq + join + semi
+    else:
+        ordered = eq + join + semi + group
+    seen, result = set(), []
+    for col in ordered:
+        if col not in seen:
+            seen.add(col)
+            result.append(col)
+    return result
+
+
+def index_candidates(bound, catalog, profile):
+    """Index candidates of one query under a recommender profile."""
+    roles = roles_of(bound)
+    candidates = []
+    for table in roles.tables():
+        schema = catalog.table(table)
+        usable = [
+            c for c in roles.columns(table)
+            if schema.has_column(c) and schema.column(c).indexable
+        ]
+        for col in usable:
+            candidates.append(IndexDefinition(table=table, columns=(col,)))
+        ordered = [
+            c for c in _ordered_columns(roles, table, profile.leading_strategy)
+            if c in usable
+        ]
+        for width in range(2, profile.max_index_width + 1):
+            if len(ordered) < width:
+                break
+            candidates.append(
+                IndexDefinition(table=table, columns=tuple(ordered[:width]))
+            )
+    return candidates
+
+
+def view_candidates(bound, catalog, profile):
+    """Materialized-view candidates of one query (view-capable systems)."""
+    if not profile.consider_views:
+        return []
+    candidates = []
+    for semi in bound.semijoins:
+        candidates.append(
+            MatViewDefinition(
+                tables=(semi.sub_table,),
+                group_columns=(ViewColumn(semi.sub_table, semi.sub_column),),
+            )
+        )
+    if any(agg.func != "count" for agg in bound.aggregates):
+        return candidates
+    # Single-table pre-aggregations: one view per alias, grouping by
+    # exactly the columns the query touches on it (DB2-advisor style
+    # "lossless" candidate).
+    for alias, table in bound.relations.items():
+        if any(s.target.alias == alias for s in bound.semijoins):
+            continue
+        cols = bound.columns_of(alias)
+        if not cols or len(cols) > 5:
+            continue
+        schema = catalog.table(table)
+        if not all(schema.column(c).indexable for c in cols):
+            continue
+        candidates.append(
+            MatViewDefinition(
+                tables=(table,),
+                group_columns=tuple(ViewColumn(table, c) for c in cols),
+            )
+        )
+    # Join views over a query's join pair, preserving every column the
+    # query touches on those tables.
+    for pred in bound.join_preds:
+        la, ra = pred.left.alias, pred.right.alias
+        lt, rt = bound.relations[la], bound.relations[ra]
+        if lt == rt:
+            continue
+        if any(s.target.alias in (la, ra) for s in bound.semijoins):
+            continue
+        internal = [
+            p for p in bound.join_preds
+            if {p.left.alias, p.right.alias} == {la, ra}
+        ]
+        if len(internal) != 1:
+            continue
+        group_cols, ok = [], True
+        for alias, table in ((la, lt), (ra, rt)):
+            for col in bound.columns_of(alias):
+                if not catalog.table(table).column(col).indexable:
+                    ok = False
+                    break
+                vcol = ViewColumn(table, col)
+                if vcol not in group_cols:
+                    group_cols.append(vcol)
+            if not ok:
+                break
+        if not ok or not group_cols:
+            continue
+        candidates.append(
+            MatViewDefinition(
+                tables=(lt, rt),
+                join_pred=(
+                    (lt, pred.left.column),
+                    (rt, pred.right.column),
+                ),
+                group_columns=tuple(group_cols),
+            )
+        )
+    return candidates

@@ -1,0 +1,30 @@
+"""Recommender profiles: the heuristics knobs of each system's advisor."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RecommenderProfile:
+    """Configuration of one what-if recommender.
+
+    ``leading_strategy`` orders the columns of composite index candidates:
+
+    * ``'selective-first'`` — equality-filter and join columns lead,
+      grouping columns trail (AutoAdmin-style);
+    * ``'groupby-first'`` — grouping columns lead so the index can feed
+      the aggregation; this backfires when the filters cannot use the
+      index prefix, which is how System B's NREF2J recommendation ends up
+      indistinguishable from P (Figure 5).
+
+    ``max_candidates`` bounds the total candidate pool; exceeding it makes
+    the recommender give up entirely (System A on NREF3J).  ``None``
+    disables the bound.
+    """
+
+    name: str
+    leading_strategy: str = "selective-first"
+    max_candidates: int = None
+    consider_views: bool = False
+    max_index_width: int = 4
+    min_improvement: float = 0.02
+    max_selected: int = 24

@@ -1,0 +1,6 @@
+"""SQL subset: AST, parser, binder."""
+
+from .binder import Binder, BoundQuery
+from .parser import parse
+
+__all__ = ["Binder", "BoundQuery", "parse"]

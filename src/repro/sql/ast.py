@@ -1,0 +1,156 @@
+"""Abstract syntax tree for the benchmark SQL subset.
+
+The subset covers everything the paper's query families need (Section
+3.2.2): select-project-join blocks with equality join predicates,
+comparison predicates against literals, simple aggregates
+(``COUNT(*)``, ``COUNT(col)``, ``COUNT(DISTINCT col)``, ``SUM``/``AVG``/
+``MIN``/``MAX``), ``GROUP BY``, and one level of nesting through
+``col IN (SELECT c FROM t GROUP BY c HAVING COUNT(*) op k)``.
+"""
+
+from dataclasses import dataclass, field
+
+COMPARISON_OPS = ("=", "<>", "<=", ">=", "<", ">")
+AGG_FUNCS = ("count", "sum", "avg", "min", "max")
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A possibly-qualified column reference like ``t.lineage``."""
+
+    qualifier: str
+    column: str
+
+    def to_sql(self):
+        if self.qualifier:
+            return f"{self.qualifier}.{self.column}"
+        return self.column
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A string or numeric constant."""
+
+    value: object
+
+    def to_sql(self):
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Star:
+    """The ``*`` inside ``COUNT(*)``."""
+
+    def to_sql(self):
+        return "*"
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    """An aggregate function call."""
+
+    func: str
+    arg: object            # ColumnRef or Star
+    distinct: bool = False
+
+    def to_sql(self):
+        inner = self.arg.to_sql()
+        if self.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{self.func.upper()}({inner})"
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One projection of the SELECT list."""
+
+    expr: object           # ColumnRef or FuncCall
+    alias: str = None
+
+    def to_sql(self):
+        text = self.expr.to_sql()
+        if self.alias:
+            text = f"{text} AS {self.alias}"
+        return text
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left op right`` where left is a column or aggregate call."""
+
+    left: object           # ColumnRef or FuncCall (in HAVING)
+    op: str
+    right: object          # ColumnRef or Literal
+
+    def to_sql(self):
+        return f"{self.left.to_sql()} {self.op} {self.right.to_sql()}"
+
+
+@dataclass(frozen=True)
+class InSubquery:
+    """``column IN (subquery)``."""
+
+    column: ColumnRef
+    query: "Query"
+
+    def to_sql(self):
+        return f"{self.column.to_sql()} IN ({self.query.to_sql()})"
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A FROM-list entry ``table [alias]``."""
+
+    table: str
+    alias: str = None
+
+    @property
+    def binding(self):
+        return self.alias or self.table
+
+    def to_sql(self):
+        if self.alias:
+            return f"{self.table} {self.alias}"
+        return self.table
+
+
+@dataclass(frozen=True)
+class Query:
+    """One query block."""
+
+    select: tuple
+    from_tables: tuple
+    where: tuple = ()
+    group_by: tuple = ()
+    having: Comparison = None
+
+    def to_sql(self):
+        parts = [
+            "SELECT " + ", ".join(item.to_sql() for item in self.select),
+            "FROM " + ", ".join(ref.to_sql() for ref in self.from_tables),
+        ]
+        if self.where:
+            parts.append(
+                "WHERE " + " AND ".join(pred.to_sql() for pred in self.where)
+            )
+        if self.group_by:
+            parts.append(
+                "GROUP BY " + ", ".join(col.to_sql() for col in self.group_by)
+            )
+        if self.having is not None:
+            parts.append("HAVING " + self.having.to_sql())
+        return " ".join(parts)
+
+
+def query(select, from_tables, where=(), group_by=(), having=None):
+    """Convenience constructor normalizing lists to tuples."""
+    return Query(
+        select=tuple(select),
+        from_tables=tuple(from_tables),
+        where=tuple(where),
+        group_by=tuple(group_by),
+        having=having,
+    )

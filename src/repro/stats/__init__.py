@@ -1,0 +1,6 @@
+"""Statistics: per-column and per-table."""
+
+from .column_stats import ColumnStats
+from .table_stats import StatisticsCatalog, TableStats
+
+__all__ = ["ColumnStats", "StatisticsCatalog", "TableStats"]

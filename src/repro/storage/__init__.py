@@ -1,0 +1,6 @@
+"""Columnar table storage and SQL types."""
+
+from .table import Table
+from .types import SQLType, date, float_, integer, varchar
+
+__all__ = ["Table", "SQLType", "date", "float_", "integer", "varchar"]

@@ -1,0 +1,92 @@
+"""Columnar table storage.
+
+Each table holds one numpy array per column.  The executor operates on
+these arrays (and on integer row-id selections over them), which keeps the
+actual execution of 100-query workloads fast while the *virtual clock*
+accounts for what the same plan would cost on the paper's hardware.
+"""
+
+import numpy as np
+
+from ..common.errors import CatalogError
+from ..common.hardware import pages_for_bytes
+
+
+class Table:
+    """Data of one table: schema + columnar arrays."""
+
+    def __init__(self, schema, columns=None):
+        self.schema = schema
+        if columns is None:
+            columns = {
+                col.name: col.sql_type.coerce([]) for col in schema.columns
+            }
+        missing = [c.name for c in schema.columns if c.name not in columns]
+        if missing:
+            raise CatalogError(
+                f"table {schema.name!r} loaded without columns {missing}"
+            )
+        lengths = {len(columns[c.name]) for c in schema.columns}
+        if len(lengths) > 1:
+            raise CatalogError(
+                f"table {schema.name!r} columns have differing lengths {lengths}"
+            )
+        self._columns = {
+            col.name: col.sql_type.coerce(columns[col.name])
+            for col in schema.columns
+        }
+
+    @property
+    def name(self):
+        return self.schema.name
+
+    @property
+    def row_count(self):
+        first = next(iter(self._columns.values()))
+        return len(first)
+
+    def column(self, name):
+        """The full storage array for a column."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise CatalogError(
+                f"no column {name!r} in table {self.name!r}"
+            ) from None
+
+    def column_names(self):
+        return list(self._columns)
+
+    def byte_size(self):
+        """Heap size in bytes under the declared row width."""
+        return self.row_count * self.schema.row_width()
+
+    def page_count(self):
+        """Heap size in pages (the unit the cost model scans in)."""
+        return pages_for_bytes(self.byte_size())
+
+    def append_rows(self, columns):
+        """Append rows given as a ``{column_name: sequence}`` mapping.
+
+        Used by the Section 4.4 insertion experiment.  Returns the number
+        of rows appended.
+        """
+        lengths = set()
+        coerced = {}
+        for col in self.schema.columns:
+            if col.name not in columns:
+                raise CatalogError(
+                    f"append to {self.name!r} missing column {col.name!r}"
+                )
+            arr = col.sql_type.coerce(columns[col.name])
+            coerced[col.name] = arr
+            lengths.add(len(arr))
+        if len(lengths) != 1:
+            raise CatalogError("appended columns have differing lengths")
+        for name, arr in coerced.items():
+            self._columns[name] = np.concatenate([self._columns[name], arr])
+        return lengths.pop()
+
+    def take(self, row_ids, column_names):
+        """Gather the given columns at the given row ids."""
+        return {name: self._columns[name][row_ids] for name in column_names}

@@ -1,0 +1,60 @@
+"""SQL column types and their storage widths.
+
+Widths feed the page/size accounting that drives both the cost model and
+the space-budget bookkeeping of the recommender (the paper's budget is
+``size(1C) - size(P)``).
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SQLType:
+    """A column type with a storage width in bytes.
+
+    ``kind`` is one of ``'int'``, ``'float'``, ``'str'``, ``'date'``.
+    For strings ``width`` is the declared average width used in size
+    accounting (the engine stores Python strings; the cost model only
+    needs a representative byte width).
+    """
+
+    kind: str
+    width: int
+
+    def numpy_dtype(self):
+        """The dtype used by the columnar storage layer."""
+        if self.kind == "int" or self.kind == "date":
+            return np.dtype(np.int64)
+        if self.kind == "float":
+            return np.dtype(np.float64)
+        if self.kind == "str":
+            return np.dtype(object)
+        raise ValueError(f"unknown type kind {self.kind!r}")
+
+    def coerce(self, values):
+        """Coerce a sequence of Python values into a storage array."""
+        return np.asarray(values, dtype=self.numpy_dtype())
+
+
+def integer():
+    """8-byte integer column."""
+    return SQLType("int", 8)
+
+
+def float_():
+    """8-byte floating point column."""
+    return SQLType("float", 8)
+
+
+def varchar(avg_width):
+    """Variable-width string column with a declared average width."""
+    if avg_width <= 0:
+        raise ValueError("avg_width must be positive")
+    return SQLType("str", int(avg_width))
+
+
+def date():
+    """Date column, stored as integer day numbers."""
+    return SQLType("date", 8)

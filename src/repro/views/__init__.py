@@ -1,0 +1,5 @@
+"""Materialized views."""
+
+from .matview import COUNT_COLUMN, MatViewDefinition, ViewColumn, build_view
+
+__all__ = ["COUNT_COLUMN", "MatViewDefinition", "ViewColumn", "build_view"]

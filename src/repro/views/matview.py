@@ -1,0 +1,161 @@
+"""Materialized view definitions and built view data.
+
+Two shapes cover everything the paper's recommenders produced (Table 3):
+
+* **Single-table aggregate views** ``SELECT c1..ck, COUNT(*) FROM t GROUP
+  BY c1..ck`` — the "2 views on Lineitem" of the SkTH3J recommendation;
+  they also answer the families' ``HAVING COUNT(*) op k`` subqueries.
+* **Join aggregate views** ``SELECT cols..., COUNT(*) FROM r, s WHERE
+  r.a = s.b GROUP BY cols...`` — the "9 views on Lineitem ⋈ Partsupp" of
+  the UnTH3J recommendation.
+
+A built view is stored as an ordinary :class:`~repro.storage.table.Table`
+whose last column, ``cnt``, carries the group count; the executor treats
+``cnt`` as a row *weight* so that ``COUNT(*)`` aggregates over rewritten
+plans stay exact.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..catalog.schema import ColumnDef, TableSchema
+from ..storage.table import Table
+from ..storage.types import integer
+
+COUNT_COLUMN = "cnt"
+
+
+@dataclass(frozen=True)
+class ViewColumn:
+    """A view output column sourced from ``table.column``."""
+
+    table: str
+    column: str
+
+    @property
+    def name(self):
+        return f"{self.table}__{self.column}"
+
+
+@dataclass(frozen=True)
+class MatViewDefinition:
+    """A single-table or two-table-join aggregate view."""
+
+    tables: tuple                 # 1 or 2 base table names
+    join_pred: tuple = None       # ((t1, c1), (t2, c2)) when len(tables) == 2
+    group_columns: tuple = ()     # tuple of ViewColumn
+
+    def __post_init__(self):
+        if len(self.tables) not in (1, 2):
+            raise ValueError("views cover one or two base tables")
+        if len(self.tables) == 2 and self.join_pred is None:
+            raise ValueError("two-table views need a join predicate")
+        if len(self.tables) == 1 and self.join_pred is not None:
+            raise ValueError("single-table views cannot have a join predicate")
+        if not self.group_columns:
+            raise ValueError("views need at least one group column")
+        for vcol in self.group_columns:
+            if vcol.table not in self.tables:
+                raise ValueError(
+                    f"group column {vcol} not from the view's tables"
+                )
+
+    @property
+    def name(self):
+        tables = "_".join(self.tables)
+        cols = "_".join(c.column for c in self.group_columns)
+        return f"mv_{tables}__{cols}"
+
+    @property
+    def is_join_view(self):
+        return len(self.tables) == 2
+
+    def column_names(self):
+        return [c.name for c in self.group_columns] + [COUNT_COLUMN]
+
+    def view_schema(self, catalog):
+        """Schema of the materialized result table."""
+        columns = []
+        for vcol in self.group_columns:
+            base = catalog.table(vcol.table).column(vcol.column)
+            columns.append(
+                ColumnDef(vcol.name, base.sql_type, base.domain, base.indexable)
+            )
+        columns.append(ColumnDef(COUNT_COLUMN, integer(), "", True))
+        return TableSchema(name=self.name, columns=columns)
+
+    def column_for(self, table, column):
+        """The view column sourcing ``table.column``, if any."""
+        for vcol in self.group_columns:
+            if vcol.table == table and vcol.column == column:
+                return vcol
+        return None
+
+
+def build_view(definition, tables, catalog):
+    """Materialize a view over the given ``{name: Table}`` mapping.
+
+    Returns the result :class:`Table` plus the input row count that was
+    aggregated (used for build cost accounting).
+    """
+    if definition.is_join_view:
+        (t1, c1), (t2, c2) = definition.join_pred
+        left, right = tables[t1], tables[t2]
+        lkeys = left.column(c1)
+        rkeys = right.column(c2)
+        order = np.argsort(rkeys, kind="stable")
+        sorted_keys = rkeys[order]
+        lows = np.searchsorted(sorted_keys, lkeys, side="left")
+        highs = np.searchsorted(sorted_keys, lkeys, side="right")
+        counts = highs - lows
+        total = int(counts.sum())
+        left_ids = np.repeat(np.arange(len(lkeys)), counts)
+        starts = np.repeat(lows, counts)
+        offsets = np.arange(total) - np.repeat(
+            np.concatenate(([0], np.cumsum(counts)[:-1])), counts
+        )
+        right_ids = order[starts + offsets]
+        source = {}
+        for vcol in definition.group_columns:
+            if vcol.table == t1:
+                source[vcol.name] = left.column(vcol.column)[left_ids]
+            else:
+                source[vcol.name] = right.column(vcol.column)[right_ids]
+        input_rows = left.row_count + right.row_count
+        group_len = total
+    else:
+        base = tables[definition.tables[0]]
+        source = {
+            vcol.name: base.column(vcol.column)
+            for vcol in definition.group_columns
+        }
+        input_rows = base.row_count
+        group_len = base.row_count
+
+    names = [c.name for c in definition.group_columns]
+    if group_len == 0:
+        data = {name: source[name][:0] for name in names}
+        data[COUNT_COLUMN] = np.array([], dtype=np.int64)
+        return Table(definition.view_schema(catalog), data), input_rows
+
+    if len(names) == 1:
+        keys, counts = np.unique(source[names[0]], return_counts=True)
+        data = {names[0]: keys}
+    else:
+        arrays = [source[name] for name in names]
+        order = np.lexsort(tuple(reversed(arrays)))
+        sorted_cols = [arr[order] for arr in arrays]
+        change = np.zeros(group_len, dtype=bool)
+        change[0] = True
+        for col in sorted_cols:
+            change[1:] |= col[1:] != col[:-1]
+        group_starts = np.flatnonzero(change)
+        counts = np.diff(np.append(group_starts, group_len))
+        data = {
+            name: col[group_starts]
+            for name, col in zip(names, sorted_cols)
+        }
+    data[COUNT_COLUMN] = np.asarray(counts, dtype=np.int64)
+    view_table = Table(definition.view_schema(catalog), data)
+    return view_table, input_rows

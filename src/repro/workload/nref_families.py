@@ -1,0 +1,167 @@
+"""The NREF query families (Section 3.2.2).
+
+* **NREF2J** — co-occurrence counts of same-domain values across two
+  tables, with both join inputs restricted to values occurring fewer than
+  4 times;
+* **NREF3J** — the self-join generalization of the paper's Example 1
+  (Simian Virus 40), with a k1/k2/k3 selection constant on the second
+  table.
+
+The enumeration applies the paper's Section 4.1.1 practical restrictions:
+non-indexable columns are ignored, at most 4 columns per table are used,
+and larger tables contribute fewer selection criteria and fewer group-by
+columns.
+"""
+
+from itertools import combinations
+
+from .constants import selectivity_ladder, sql_literal
+from .workload import Workload, make_instance
+
+# At most this many template columns per table (paper: "we did not use
+# more than 4 columns per table").
+MAX_COLUMNS_PER_TABLE = 4
+
+# Tables above this row count get fewer group-by subsets and fewer
+# selection constants (paper: "fewer selection criteria ... on the larger
+# tables").
+LARGE_TABLE_ROWS = 20_000
+
+
+def template_columns(database, table):
+    """The (at most 4) indexable columns a family may use for a table."""
+    schema = database.catalog.table(table)
+    preferred = [
+        col.name for col in schema.indexable_columns() if col.domain
+    ]
+    extra = [
+        col.name for col in schema.indexable_columns() if not col.domain
+    ]
+    return (preferred + extra)[:MAX_COLUMNS_PER_TABLE]
+
+
+def _is_large(database, table):
+    return database.table(table).row_count > LARGE_TABLE_ROWS
+
+
+def _groupby_subsets(columns, max_size, limit):
+    """Group-by column subsets: the empty set plus small combinations."""
+    subsets = [()]
+    for size in range(1, max_size + 1):
+        for combo in combinations(columns, size):
+            subsets.append(combo)
+            if len(subsets) >= limit:
+                return subsets
+    return subsets
+
+
+def _join_pairs(database, same_table=False):
+    pairs = []
+    for ta, ca, tb, cb in database.catalog.join_pairs(same_table=same_table):
+        if ca not in template_columns(database, ta):
+            continue
+        if cb not in template_columns(database, tb):
+            continue
+        pairs.append((ta, ca, tb, cb))
+    return pairs
+
+
+def generate_nref2j(database, having_threshold=4):
+    """Enumerate the (restricted) NREF2J family.
+
+    Template::
+
+        SELECT r.ci1..ci3, r.c1, COUNT(*)
+        FROM R r, S s
+        WHERE r.c1 = s.c2
+          AND r.c1 IN (SELECT c1 FROM R GROUP BY c1 HAVING COUNT(*) < 4)
+          AND s.c2 IN (SELECT c2 FROM S GROUP BY c2 HAVING COUNT(*) < 4)
+        GROUP BY r.ci1..ci3, r.c1
+    """
+    workload = Workload(name="NREF2J")
+    for r_table, c1, s_table, c2 in _join_pairs(database):
+        if r_table == s_table:
+            continue
+        group_pool = [
+            c for c in template_columns(database, r_table) if c != c1
+        ]
+        limit = 3 if _is_large(database, r_table) else 6
+        for group_cols in _groupby_subsets(group_pool, 3, limit):
+            select_cols = [f"r.{c}" for c in group_cols] + [f"r.{c1}"]
+            group_clause = ", ".join(select_cols)
+            sql = (
+                f"SELECT {group_clause}, COUNT(*) "
+                f"FROM {r_table} r, {s_table} s "
+                f"WHERE r.{c1} = s.{c2} "
+                f"AND r.{c1} IN (SELECT {c1} FROM {r_table} "
+                f"GROUP BY {c1} HAVING COUNT(*) < {having_threshold}) "
+                f"AND s.{c2} IN (SELECT {c2} FROM {s_table} "
+                f"GROUP BY {c2} HAVING COUNT(*) < {having_threshold}) "
+                f"GROUP BY {group_clause}"
+            )
+            workload.queries.append(
+                make_instance(
+                    sql,
+                    "NREF2J",
+                    r=r_table, c1=c1, s=s_table, c2=c2,
+                    group_by=",".join(group_cols),
+                )
+            )
+    return workload
+
+
+def generate_nref3j(database):
+    """Enumerate the (restricted) NREF3J family.
+
+    Template::
+
+        SELECT r1.ci1..ci3, r1.c1, COUNT(DISTINCT r2.c2)
+        FROM R r1, R r2, S s
+        WHERE r1.c1 = r2.c1 AND r1.c2 = s.c3 AND s.c4 = k
+        GROUP BY r1.ci1..ci3, r1.c1
+    """
+    workload = Workload(name="NREF3J")
+    for r_table, c2, s_table, c3 in _join_pairs(database):
+        if r_table == s_table:
+            continue
+        r_columns = template_columns(database, r_table)
+        s_columns = template_columns(database, s_table)
+        self_join_cols = [c for c in r_columns if c != c2]
+        filter_cols = [c for c in s_columns if c != c3]
+        if _is_large(database, s_table):
+            filter_cols = filter_cols[:1]
+        else:
+            filter_cols = filter_cols[:2]
+        for c1 in self_join_cols[:2]:
+            group_pool = [c for c in r_columns if c not in (c1, c2)]
+            limit = 2 if _is_large(database, r_table) else 3
+            for group_cols in _groupby_subsets(group_pool, 3, limit):
+                for c4 in filter_cols:
+                    ladder = selectivity_ladder(
+                        database.table(s_table).column(c4)
+                    )
+                    for k, freq in ladder:
+                        select_cols = (
+                            [f"r1.{c}" for c in group_cols] + [f"r1.{c1}"]
+                        )
+                        group_clause = ", ".join(select_cols)
+                        sql = (
+                            f"SELECT {group_clause}, "
+                            f"COUNT(DISTINCT r2.{c2}) "
+                            f"FROM {r_table} r1, {r_table} r2, {s_table} s "
+                            f"WHERE r1.{c1} = r2.{c1} "
+                            f"AND r1.{c2} = s.{c3} "
+                            f"AND s.{c4} = {sql_literal(k)} "
+                            f"GROUP BY {group_clause}"
+                        )
+                        workload.queries.append(
+                            make_instance(
+                                sql,
+                                "NREF3J",
+                                r=r_table, c1=c1, c2=c2,
+                                s=s_table, c3=c3, c4=c4,
+                                constant=k, constant_freq=freq,
+                                group_by=",".join(group_cols),
+                            )
+                        )
+    return workload

@@ -1,0 +1,160 @@
+"""The TPC-H query families (Section 3.2.2).
+
+* **SkTH3J**  — three-way joins on the skewed TPC-H database: a PK-FK
+  join R ⋈ S, a non-key same-domain join S ⋈ T, and a selection θ(S.c3)
+  that is either ``S.c3 = p`` or
+  ``S.c3 IN (SELECT c3 FROM S GROUP BY c3 HAVING COUNT(*) = p)``,
+  with three constants per assignment sizing R ⋈ S across three orders of
+  magnitude;
+* **SkTH3Js** — the simpler variant restricted to Lineitem, Orders and
+  Partsupp with equality-only θ;
+* **UnTH3J**  — the same template as SkTH3J evaluated on the uniform
+  TPC-H database (with constants re-derived from the uniform data).
+"""
+
+from itertools import combinations
+
+from .constants import frequency_ladder, selectivity_ladder, sql_literal
+from .nref_families import template_columns
+from .workload import Workload, make_instance
+
+SIMPLE_TABLES = ("lineitem", "orders", "partsupp")
+
+
+def _fk_pairs(catalog):
+    """(R, S, [join column pairs]) for each PK-FK correspondence.
+
+    R is the primary-key side, S the foreign-key side.
+    """
+    pairs = []
+    for schema in catalog.tables():
+        for fk in schema.foreign_keys:
+            pairs.append(
+                (
+                    fk.ref_table,
+                    schema.name,
+                    list(zip(fk.ref_columns, fk.columns)),
+                )
+            )
+    return pairs
+
+
+def _nonkey_join_pairs(catalog, s_table, t_table):
+    """Same-domain joinable (s_col, t_col) pairs that are not the FK join."""
+    s_schema = catalog.table(s_table)
+    t_schema = catalog.table(t_table)
+    pairs = []
+    for s_col in s_schema.indexable_columns():
+        if not s_col.domain:
+            continue
+        for t_col in t_schema.columns_in_domain(s_col.domain):
+            if s_col.name in s_schema.primary_key and \
+                    t_col.name in t_schema.primary_key:
+                continue
+            pairs.append((s_col.name, t_col.name))
+    return pairs
+
+
+def _theta_variants(database, s_table, c3, include_subquery):
+    """θ(S.c3) variants with their constants (paper: three per assignment)."""
+    column = database.table(s_table).column(c3)
+    variants = []
+    for k, freq in selectivity_ladder(column):
+        variants.append(("eq", k, freq))
+    if include_subquery:
+        for p in frequency_ladder(column):
+            variants.append(("freq", p, p))
+    return variants
+
+
+def _render_theta(kind, s_table, c3, value):
+    if kind == "eq":
+        return f"s.{c3} = {sql_literal(value)}"
+    return (
+        f"s.{c3} IN (SELECT {c3} FROM {s_table} "
+        f"GROUP BY {c3} HAVING COUNT(*) = {int(value)})"
+    )
+
+
+def _generate_3j(database, family, tables=None, include_subquery=True,
+                 max_group=4):
+    catalog = database.catalog
+    workload = Workload(name=family)
+    for r_table, s_table, fk_cols in _fk_pairs(catalog):
+        if tables is not None and (
+            r_table not in tables or s_table not in tables
+        ):
+            continue
+        for t_schema in catalog.tables():
+            t_table = t_schema.name
+            if t_table in (r_table, s_table):
+                continue
+            if tables is not None and t_table not in tables:
+                continue
+            join_pairs = _nonkey_join_pairs(catalog, s_table, t_table)
+            if not join_pairs:
+                continue
+            group_pool = template_columns(database, t_table)
+            for c1, c2 in join_pairs[:2]:
+                theta_cols = [
+                    c for c in template_columns(database, s_table)
+                    if c not in (c1,) and c not in dict(fk_cols).values()
+                ]
+                for c3 in theta_cols[:2]:
+                    variants = _theta_variants(
+                        database, s_table, c3, include_subquery
+                    )
+                    group_sets = [
+                        combo
+                        for size in range(1, max_group + 1)
+                        for combo in combinations(group_pool, size)
+                    ][:3]
+                    for kind, value, freq in variants:
+                        for group_cols in group_sets:
+                            select_cols = [f"t.{c}" for c in group_cols]
+                            group_clause = ", ".join(select_cols)
+                            fk_clause = " AND ".join(
+                                f"r.{rc} = s.{sc}" for rc, sc in fk_cols
+                            )
+                            sql = (
+                                f"SELECT {group_clause}, COUNT(*) "
+                                f"FROM {r_table} r, {s_table} s, "
+                                f"{t_table} t "
+                                f"WHERE {fk_clause} "
+                                f"AND s.{c1} = t.{c2} "
+                                f"AND {_render_theta(kind, s_table, c3, value)} "
+                                f"GROUP BY {group_clause}"
+                            )
+                            workload.queries.append(
+                                make_instance(
+                                    sql,
+                                    family,
+                                    r=r_table, s=s_table, t=t_table,
+                                    c1=c1, c2=c2, c3=c3,
+                                    theta=kind, constant=value,
+                                    constant_freq=freq,
+                                    group_by=",".join(group_cols),
+                                )
+                            )
+    return workload
+
+
+def generate_skth3j(database):
+    """The generalized three-way-join family (skewed TPC-H)."""
+    return _generate_3j(database, "SkTH3J", include_subquery=True)
+
+
+def generate_skth3js(database):
+    """The simpler family: Lineitem/Orders/Partsupp, equality θ only."""
+    return _generate_3j(
+        database,
+        "SkTH3Js",
+        tables=SIMPLE_TABLES,
+        include_subquery=False,
+    )
+
+
+def generate_unth3j(database):
+    """SkTH3J's template evaluated against the uniform TPC-H database."""
+    workload = _generate_3j(database, "UnTH3J", include_subquery=True)
+    return workload

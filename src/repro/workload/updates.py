@@ -1,0 +1,87 @@
+"""Insert workloads (Section 4.4).
+
+The paper's update experiment inserts batches into ``Neighboring_seq``
+("both the widest and the largest relation in the NREF database"); this
+module synthesizes fresh, FK-consistent insert batches for any NREF or
+TPC-H table so the experiment does not recycle existing rows.
+"""
+
+import numpy as np
+
+from ..common.rng import make_rng
+
+
+def nref_neighboring_batch(database, size, seed=77):
+    """A batch of new ``neighboring_seq`` rows referencing real proteins."""
+    rng = make_rng(seed)
+    protein_ids = database.table("protein").column("nref_id")
+    existing = database.table("neighboring_seq").row_count
+    starts = rng.integers(1, 900, size)
+    spans = rng.integers(20, 700, size)
+    return {
+        "nref_id_1": protein_ids[rng.integers(0, len(protein_ids), size)],
+        "ordinal": np.arange(existing + 1, existing + size + 1),
+        "nref_id_2": protein_ids[rng.integers(0, len(protein_ids), size)],
+        "taxon_id_2": rng.integers(20, 5000, size) * 7 + 13,
+        "length_2": rng.integers(30, 5000, size),
+        "score": np.round(rng.uniform(10.0, 2000.0, size), 1),
+        "overlap_length": (spans * rng.uniform(0.4, 1.0, size)).astype(
+            np.int64
+        ),
+        "start_1": starts,
+        "start_2": rng.integers(1, 900, size),
+        "end_1": starts + spans,
+        "end_2": rng.integers(900, 1800, size),
+    }
+
+
+def tpch_lineitem_batch(database, size, seed=77):
+    """A batch of new ``lineitem`` rows with consistent FKs and dates."""
+    rng = make_rng(seed)
+    orders = database.table("orders")
+    partsupp = database.table("partsupp")
+    existing = database.table("lineitem").row_count
+    order_pos = rng.integers(0, orders.row_count, size)
+    ps_pos = rng.integers(0, partsupp.row_count, size)
+    shipdate = orders.column("o_orderdate")[order_pos] + rng.integers(
+        1, 121, size
+    )
+    return {
+        "l_orderkey": orders.column("o_orderkey")[order_pos],
+        "l_linenumber": np.arange(existing + 1, existing + size + 1),
+        "l_partkey": partsupp.column("ps_partkey")[ps_pos],
+        "l_suppkey": partsupp.column("ps_suppkey")[ps_pos],
+        "l_quantity": rng.integers(1, 51, size),
+        "l_extendedprice": np.round(rng.uniform(900.0, 105_000.0, size), 2),
+        "l_discount": np.round(rng.integers(0, 11, size) / 100.0, 2),
+        "l_tax": np.round(rng.integers(0, 9, size) / 100.0, 2),
+        "l_returnflag": np.array(
+            rng.choice(["A", "N", "R"], size), dtype=object
+        ),
+        "l_linestatus": np.array(
+            rng.choice(["F", "O"], size), dtype=object
+        ),
+        "l_shipdate": shipdate,
+        "l_commitdate": shipdate + rng.integers(-30, 31, size),
+        "l_receiptdate": shipdate + rng.integers(1, 31, size),
+        "l_shipmode": np.array(
+            rng.choice(["AIR", "RAIL", "TRUCK", "SHIP"], size),
+            dtype=object,
+        ),
+    }
+
+
+def break_even_inserts(insert_rate_slow, insert_rate_fast,
+                       workload_gain, repetitions=1):
+    """Inserted tuples at which slower-inserts/faster-queries wins.
+
+    The paper's Section 4.4 arithmetic: with 1C inserting at
+    ``insert_rate_slow`` s/tuple, R at ``insert_rate_fast``, and 1C
+    saving ``workload_gain`` seconds per workload execution, the
+    break-even batch for ``repetitions`` executions of the workload is
+    ``repetitions * gain / (slow - fast)``.
+    """
+    delta = insert_rate_slow - insert_rate_fast
+    if delta <= 0:
+        return float("inf")
+    return repetitions * workload_gain / delta

@@ -1,0 +1,105 @@
+"""Shared fixtures: a small hand-built database and tiny generated ones."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Catalog,
+    ColumnDef,
+    Database,
+    TableSchema,
+    integer,
+    varchar,
+)
+from repro.engine.configuration import (
+    one_column_configuration,
+    primary_configuration,
+)
+from repro.engine.systems import system_a
+
+
+def make_city_catalog():
+    users = TableSchema(
+        "users",
+        [
+            ColumnDef("uid", integer(), "id"),
+            ColumnDef("city", varchar(12), "city"),
+            ColumnDef("age", integer(), "age"),
+        ],
+        primary_key=("uid",),
+    )
+    orders = TableSchema(
+        "orders",
+        [
+            ColumnDef("oid", integer(), "id"),
+            ColumnDef("uid", integer(), "id"),
+            ColumnDef("city", varchar(12), "city"),
+            ColumnDef("amount", integer(), "amount"),
+        ],
+        primary_key=("oid",),
+    )
+    return Catalog([users, orders])
+
+
+def load_city_database(n_users=500, n_orders=2500, seed=0):
+    catalog = make_city_catalog()
+    db = Database(catalog, system_a(), name="city")
+    rng = np.random.default_rng(seed)
+    cities = np.array(["tor", "mtl", "van", "cal", "ott"], dtype=object)
+    db.load_table(
+        "users",
+        {
+            "uid": np.arange(n_users),
+            "city": rng.choice(cities, n_users),
+            "age": rng.integers(18, 80, n_users),
+        },
+    )
+    db.load_table(
+        "orders",
+        {
+            "oid": np.arange(n_orders),
+            "uid": rng.integers(0, n_users, n_orders),
+            "city": rng.choice(cities, n_orders),
+            "amount": rng.integers(1, 100, n_orders),
+        },
+    )
+    db.collect_statistics()
+    return db
+
+
+@pytest.fixture
+def city_db():
+    """A small two-table database with statistics, in the default config."""
+    return load_city_database()
+
+
+@pytest.fixture
+def city_db_p(city_db):
+    city_db.apply_configuration(primary_configuration(city_db.catalog))
+    return city_db
+
+
+@pytest.fixture
+def city_db_1c(city_db):
+    city_db.apply_configuration(one_column_configuration(city_db.catalog))
+    return city_db
+
+
+@pytest.fixture(scope="session")
+def tiny_nref():
+    """A tiny NREF database (shared across the session; read-mostly)."""
+    from repro.datagen.nref import load_nref_database
+
+    db = load_nref_database(system_a(), scale=0.05)
+    db.apply_configuration(primary_configuration(db.catalog, name="P"))
+    return db
+
+
+@pytest.fixture(scope="session")
+def tiny_tpch():
+    from repro.datagen.tpch import load_tpch_database
+    from repro.engine.systems import system_c
+
+    db = load_tpch_database(system_c(), scale=0.05, zipf=1.0)
+    db.apply_configuration(primary_configuration(db.catalog, name="P"))
+    return db

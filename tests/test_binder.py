@@ -1,0 +1,107 @@
+"""Binder tests over the small city catalog."""
+
+import pytest
+
+from repro.common.errors import BindError
+from repro.sql.binder import Binder, BoundColumn
+from repro.sql.parser import parse
+
+from conftest import make_city_catalog
+
+
+@pytest.fixture
+def binder():
+    return Binder(make_city_catalog())
+
+
+def bind(binder, sql):
+    return binder.bind(parse(sql))
+
+
+def test_bind_join_and_filter(binder):
+    bound = bind(
+        binder,
+        "SELECT u.city, COUNT(*) FROM users u, orders o "
+        "WHERE u.uid = o.uid AND u.age = 30 GROUP BY u.city",
+    )
+    assert bound.relations == {"u": "users", "o": "orders"}
+    assert len(bound.join_preds) == 1
+    assert bound.filters[0].target == BoundColumn("u", "age")
+    assert bound.filters[0].value == 30
+    assert bound.group_by == [BoundColumn("u", "city")]
+    assert bound.aggregates[0].func == "count"
+
+
+def test_unqualified_resolution(binder):
+    bound = bind(binder, "SELECT age FROM users u")
+    assert bound.output == [("col", BoundColumn("u", "age"))]
+
+
+def test_ambiguous_column_rejected(binder):
+    with pytest.raises(BindError, match="ambiguous"):
+        bind(binder, "SELECT city FROM users u, orders o")
+
+
+def test_unknown_names_rejected(binder):
+    with pytest.raises(BindError):
+        bind(binder, "SELECT a FROM missing")
+    with pytest.raises(BindError):
+        bind(binder, "SELECT nope FROM users")
+    with pytest.raises(BindError):
+        bind(binder, "SELECT x.uid FROM users u")
+
+
+def test_duplicate_alias_rejected(binder):
+    with pytest.raises(BindError, match="duplicate"):
+        bind(binder, "SELECT u.uid FROM users u, orders u")
+
+
+def test_selected_column_must_be_grouped(binder):
+    with pytest.raises(BindError, match="not grouped"):
+        bind(
+            binder,
+            "SELECT u.age, COUNT(*) FROM users u GROUP BY u.city",
+        )
+
+
+def test_semijoin_shape(binder):
+    bound = bind(
+        binder,
+        "SELECT o.city, COUNT(*) FROM orders o WHERE o.uid IN "
+        "(SELECT uid FROM orders GROUP BY uid HAVING COUNT(*) < 4) "
+        "GROUP BY o.city",
+    )
+    semi = bound.semijoins[0]
+    assert semi.sub_table == "orders"
+    assert semi.sub_column == "uid"
+    assert semi.having_op == "<"
+    assert semi.having_value == 4
+
+
+def test_subquery_must_select_group_column(binder):
+    with pytest.raises(BindError):
+        bind(
+            binder,
+            "SELECT o.city FROM orders o WHERE o.uid IN "
+            "(SELECT oid FROM orders GROUP BY uid "
+            "HAVING COUNT(*) < 4)",
+        )
+
+
+def test_self_join_binds(binder):
+    bound = bind(
+        binder,
+        "SELECT u1.city, COUNT(*) FROM users u1, users u2 "
+        "WHERE u1.age = u2.age GROUP BY u1.city",
+    )
+    assert bound.relations == {"u1": "users", "u2": "users"}
+
+
+def test_columns_of_collects_references(binder):
+    bound = bind(
+        binder,
+        "SELECT u.city, COUNT(DISTINCT o.amount) FROM users u, orders o "
+        "WHERE u.uid = o.uid AND o.city = 'tor' GROUP BY u.city",
+    )
+    assert bound.columns_of("u") == ["city", "uid"]
+    assert bound.columns_of("o") == ["amount", "city", "uid"]

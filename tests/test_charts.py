@@ -1,0 +1,58 @@
+"""Text rendering of tables, histograms, and CFC curves."""
+
+import numpy as np
+
+from repro.analysis.binning import time_histogram
+from repro.analysis.cfc import CumulativeFrequencyCurve, log_grid
+from repro.analysis.charts import render_cfc, render_histogram, render_table
+from repro.analysis.measurements import WorkloadMeasurement
+
+
+def measurement(times, name="cfg"):
+    times = np.asarray(times, dtype=np.float64)
+    return WorkloadMeasurement(
+        workload="W",
+        configuration=name,
+        elapsed=times,
+        timed_out=np.zeros(len(times), dtype=bool),
+    )
+
+
+def test_render_table_alignment():
+    text = render_table(
+        ["name", "value"],
+        [("alpha", 1), ("b", 22)],
+        title="T",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert len(lines) == 5
+    widths = {len(line) for line in lines[1:]}
+    assert len(widths) == 1, "all rows padded to the same width"
+
+
+def test_render_table_empty_rows():
+    text = render_table(["a"], [])
+    assert "a" in text
+
+
+def test_render_histogram_contains_bins():
+    hist = time_histogram(measurement([1, 5, 50, 500]))
+    text = render_histogram(hist, title="H")
+    assert text.startswith("H")
+    assert "t_out" in text
+    assert "#" in text
+    assert "cum 100.0%" in text
+
+
+def test_render_cfc_grid_and_names():
+    curves = [
+        CumulativeFrequencyCurve(measurement([1, 2, 3], "fast")),
+        CumulativeFrequencyCurve(measurement([10, 20, 30], "slow")),
+    ]
+    grid = log_grid(1, 100, points_per_decade=1)
+    text = render_cfc(curves, grid, title="curves")
+    assert "fast" in text and "slow" in text
+    assert "100.0%" in text
+    assert text.startswith("curves")

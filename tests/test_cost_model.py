@@ -1,0 +1,121 @@
+"""Cost model unit and property tests.
+
+The cost model is shared between the estimator and the executor, so its
+monotonicity and non-negativity properties are what make A/E comparisons
+meaningful.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.hardware import desktop_2004
+from repro.optimizer import cost_model as cm
+
+HW = desktop_2004()
+
+
+def test_seq_scan_scales_with_pages():
+    assert cm.seq_scan(HW, 100, 1000) < cm.seq_scan(HW, 200, 1000)
+    assert cm.seq_scan(HW, 100, 1000) < cm.seq_scan(HW, 100, 100_000)
+
+
+def test_spill_kicks_in_above_work_mem():
+    below = cm.spill(HW, HW.work_mem_bytes)
+    above = cm.spill(HW, HW.work_mem_bytes * 4)
+    assert below == 0.0
+    assert above > 0.0
+
+
+def test_hash_join_pieces_nonnegative():
+    assert cm.hash_build(HW, 0, 100) == 0.0
+    assert cm.hash_probe(HW, 0) == 0.0
+    assert cm.join_output(HW, 0, 100) == 0.0
+
+
+def test_heap_fetch_bitmap_bound():
+    """Fetching many rows never costs more than a bitmap pass over the
+    heap (plus CPU)."""
+    pages, rows = 1000, 100_000
+    fetched = 50_000
+    cost = cm.heap_fetch(HW, fetched, 1.0, pages, rows)
+    bitmap_ceiling = pages * HW.seq_page_read_s * 1.5 \
+        + fetched * HW.cpu_row_s
+    assert cost <= bitmap_ceiling + 1e-9
+
+
+def test_heap_fetch_cluster_factor_discount():
+    clustered = cm.heap_fetch(HW, 100, 0.05, 1000, 100_000)
+    scattered = cm.heap_fetch(HW, 100, 1.0, 1000, 100_000)
+    assert clustered < scattered
+
+
+def test_index_probes_sublinear():
+    """Probe batches share leaves: 10x probes < 10x cost."""
+    one = cm.index_probes(HW, 100, 1_000_000, 5_000)
+    ten = cm.index_probes(HW, 1_000, 1_000_000, 5_000)
+    assert ten < 10 * one
+
+
+def test_sort_loglinear():
+    small = cm.sort(HW, 1_000, 16)
+    large = cm.sort(HW, 100_000, 16)
+    assert small < large
+    assert cm.sort(HW, 1, 16) == 0.0
+
+
+def test_build_index_components():
+    cost = cm.build_index(HW, 1000, 100_000, 16, 400)
+    assert cost > cm.seq_scan(HW, 1000, 100_000)
+
+
+def test_insert_linear_and_index_surcharge():
+    no_ix = cm.insert_rows(HW, 1000, 100, [])
+    three_ix = cm.insert_rows(HW, 1000, 100, [2, 3, 3])
+    assert three_ix > no_ix
+    assert cm.insert_rows(HW, 2000, 100, [2]) == pytest.approx(
+        2 * cm.insert_rows(HW, 1000, 100, [2]), rel=0.01
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    rows=st.integers(0, 10**7),
+    pages=st.integers(1, 10**5),
+    cf=st.floats(0.001, 1.0),
+)
+def test_property_heap_fetch_nonnegative_monotone(rows, pages, cf):
+    table_rows = max(rows, 1)
+    a = cm.heap_fetch(HW, rows, cf, pages, table_rows * 2)
+    b = cm.heap_fetch(HW, rows * 2, cf, pages, table_rows * 2)
+    assert a >= 0.0
+    assert b >= a - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    in_rows=st.integers(0, 10**6),
+    groups=st.integers(1, 10**6),
+    width=st.integers(8, 256),
+)
+def test_property_aggregate_monotone_in_input(in_rows, groups, width):
+    groups = min(groups, max(in_rows, 1))
+    a = cm.hash_aggregate(HW, in_rows, groups, width)
+    b = cm.hash_aggregate(HW, in_rows * 2, groups, width)
+    assert 0.0 <= a <= b + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    probes=st.integers(1, 10**6),
+    entries=st.integers(1, 10**7),
+    leaves=st.integers(1, 10**5),
+)
+def test_property_index_probes_bounded_by_leaves(probes, entries, leaves):
+    cost = cm.index_probes(HW, probes, entries, leaves)
+    ceiling = (
+        HW.random_page_read_s
+        + leaves * HW.random_page_read_s
+        + probes * HW.cpu_row_s
+    )
+    assert 0.0 < cost <= ceiling + 1e-9

@@ -1,0 +1,137 @@
+"""Data generators: schemas, integrity, skew, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.nref import (
+    NrefScale,
+    generate_nref,
+    nref_catalog,
+)
+from repro.datagen.tpch import generate_tpch, tpch_catalog
+
+
+def test_nref_catalog_matches_paper_schema():
+    catalog = nref_catalog()
+    assert set(catalog.table_names) == {
+        "protein", "source", "taxonomy", "organism",
+        "neighboring_seq", "identical_seq",
+    }
+    assert catalog.table("protein").primary_key == ("nref_id",)
+    assert catalog.table("source").primary_key == ("nref_id", "p_id")
+    assert catalog.table("taxonomy").primary_key == ("nref_id", "taxon_id")
+    assert catalog.table("neighboring_seq").primary_key == (
+        "nref_id_1", "ordinal",
+    )
+    assert not catalog.table("protein").column("sequence").indexable
+
+
+def test_nref_scale_preserves_paper_ratios():
+    sizes = NrefScale.of(1.0)
+    # Neighboring_seq : Protein ≈ 78.7 : 1.1 in the paper.
+    assert sizes.neighboring_seq / sizes.protein == pytest.approx(
+        78.7 / 1.1, rel=0.02
+    )
+    assert sizes.taxonomy / sizes.source == pytest.approx(
+        15.1 / 3.0, rel=0.02
+    )
+    half = NrefScale.of(0.5)
+    assert half.protein == pytest.approx(sizes.protein / 2, rel=0.05)
+
+
+def test_nref_foreign_keys_hold():
+    data = generate_nref(scale=0.05)
+    proteins = set(data["protein"]["nref_id"].tolist())
+    for child in ("source", "taxonomy", "organism"):
+        assert set(data[child]["nref_id"].tolist()) <= proteins
+    assert set(data["neighboring_seq"]["nref_id_1"].tolist()) <= proteins
+    assert set(data["identical_seq"]["nref_id_1"].tolist()) <= proteins
+
+
+def test_nref_composite_pk_unique():
+    data = generate_nref(scale=0.05)
+    pairs = list(
+        zip(
+            data["neighboring_seq"]["nref_id_1"].tolist(),
+            data["neighboring_seq"]["ordinal"].tolist(),
+        )
+    )
+    assert len(set(pairs)) == len(pairs)
+
+
+def test_nref_skewed_frequencies_support_constant_ladders():
+    data = generate_nref(scale=0.1)
+    lineage = data["taxonomy"]["lineage"]
+    _, counts = np.unique(lineage, return_counts=True)
+    assert counts.max() >= 50 * counts.min(), (
+        "lineage frequencies must span orders of magnitude for the "
+        "k1/k2/k3 rule"
+    )
+
+
+def test_nref_deterministic():
+    a = generate_nref(scale=0.02, seed=99)
+    b = generate_nref(scale=0.02, seed=99)
+    assert (a["taxonomy"]["taxon_id"] == b["taxonomy"]["taxon_id"]).all()
+    c = generate_nref(scale=0.02, seed=100)
+    assert not (
+        a["taxonomy"]["taxon_id"] == c["taxonomy"]["taxon_id"]
+    ).all()
+
+
+def test_tpch_catalog_tables_and_fks():
+    catalog = tpch_catalog()
+    assert len(catalog.table_names) == 8
+    lineitem = catalog.table("lineitem")
+    fk_targets = {fk.ref_table for fk in lineitem.foreign_keys}
+    assert fk_targets == {"orders", "part", "supplier", "partsupp"}
+
+
+def test_tpch_fk_integrity():
+    data = generate_tpch(scale=0.1, zipf=1.0)
+    orders = set(data["orders"]["o_orderkey"].tolist())
+    assert set(data["lineitem"]["l_orderkey"].tolist()) <= orders
+    ps_pairs = set(
+        zip(
+            data["partsupp"]["ps_partkey"].tolist(),
+            data["partsupp"]["ps_suppkey"].tolist(),
+        )
+    )
+    li_pairs = set(
+        zip(
+            data["lineitem"]["l_partkey"].tolist(),
+            data["lineitem"]["l_suppkey"].tolist(),
+        )
+    )
+    assert li_pairs <= ps_pairs, "lineitem -> partsupp composite FK"
+
+
+def test_tpch_uniform_vs_skewed():
+    uniform = generate_tpch(scale=0.2, zipf=0.0, seed=5)
+    skewed = generate_tpch(scale=0.2, zipf=1.0, seed=5)
+
+    def top_fraction(column):
+        _, counts = np.unique(column, return_counts=True)
+        return counts.max() / counts.sum()
+
+    assert top_fraction(skewed["lineitem"]["l_partkey"]) > \
+        5 * top_fraction(uniform["lineitem"]["l_partkey"])
+
+
+def test_tpch_dates_consistent():
+    data = generate_tpch(scale=0.05)
+    ship = data["lineitem"]["l_shipdate"]
+    receipt = data["lineitem"]["l_receiptdate"]
+    okey = data["lineitem"]["l_orderkey"]
+    odate = data["orders"]["o_orderdate"][okey - 1]
+    assert (receipt > ship).all()
+    assert (ship > odate).all()
+
+
+def test_tpch_linenumbers_start_at_one():
+    data = generate_tpch(scale=0.05)
+    ln = data["lineitem"]["l_linenumber"]
+    ok = data["lineitem"]["l_orderkey"]
+    assert ln.min() == 1
+    first_rows = np.flatnonzero(np.r_[True, ok[1:] != ok[:-1]])
+    assert (ln[first_rows] == 1).all()

@@ -1,0 +1,206 @@
+"""Differential testing: random queries vs a naive reference evaluator.
+
+Hypothesis generates queries from the benchmark SQL subset over the small
+city schema; each is evaluated by a dictionary-based reference
+implementation and by the engine under both the P and 1C configurations.
+All three answers must agree exactly.
+"""
+
+import collections
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine.configuration import (
+    one_column_configuration,
+    primary_configuration,
+)
+
+from conftest import load_city_database
+
+DB = load_city_database(n_users=120, n_orders=700, seed=21)
+P_CONFIG = primary_configuration(DB.catalog)
+ONE_C = one_column_configuration(DB.catalog)
+
+TABLES = {
+    "users": ["uid", "city", "age"],
+    "orders": ["oid", "uid", "city", "amount"],
+}
+JOINABLE = {
+    ("users", "uid"): [("orders", "uid")],
+    ("users", "city"): [("orders", "city")],
+}
+
+
+def _rows(table):
+    data = DB.table(table)
+    names = data.column_names()
+    return [
+        dict(zip(names, values))
+        for values in zip(*(data.column(n).tolist() for n in names))
+    ]
+
+
+REFERENCE_ROWS = {name: _rows(name) for name in TABLES}
+
+
+def reference_eval(spec):
+    """Naive nested-loop evaluation of a generated query spec."""
+    tables = spec["tables"]              # [(alias, table)]
+    row_sets = [REFERENCE_ROWS[t] for _, t in tables]
+    aliases = [a for a, _ in tables]
+
+    allowed = {}
+    for alias, column, op, threshold in spec["semis"]:
+        table = dict(tables)[alias]
+        freq = collections.Counter(
+            row[column] for row in REFERENCE_ROWS[table]
+        )
+        allowed[(alias, column)] = {
+            v for v, f in freq.items() if _cmp(f, op, threshold)
+        }
+
+    groups = collections.Counter()
+    for combo in itertools.product(*row_sets):
+        env = dict(zip(aliases, combo))
+        ok = True
+        for (a1, c1), (a2, c2) in spec["joins"]:
+            if env[a1][c1] != env[a2][c2]:
+                ok = False
+                break
+        if ok:
+            for alias, column, op, value in spec["filters"]:
+                if not _cmp(env[alias][column], op, value):
+                    ok = False
+                    break
+        if ok:
+            for alias, column, __, ___ in spec["semis"]:
+                if env[alias][column] not in allowed[(alias, column)]:
+                    ok = False
+                    break
+        if ok:
+            key = tuple(
+                env[alias][column] for alias, column in spec["group_by"]
+            )
+            groups[key] += 1
+    return sorted((*k, v) for k, v in groups.items())
+
+
+def _cmp(lhs, op, rhs):
+    return {
+        "=": lhs == rhs,
+        "<>": lhs != rhs,
+        "<": lhs < rhs,
+        "<=": lhs <= rhs,
+        ">": lhs > rhs,
+        ">=": lhs >= rhs,
+    }[op]
+
+
+def to_sql(spec):
+    froms = ", ".join(f"{t} {a}" for a, t in spec["tables"])
+    preds = [
+        f"{a1}.{c1} = {a2}.{c2}" for (a1, c1), (a2, c2) in spec["joins"]
+    ]
+    for alias, column, op, value in spec["filters"]:
+        rendered = f"'{value}'" if isinstance(value, str) else str(value)
+        preds.append(f"{alias}.{column} {op} {rendered}")
+    for alias, column, op, threshold in spec["semis"]:
+        table = dict(spec["tables"])[alias]
+        preds.append(
+            f"{alias}.{column} IN (SELECT {column} FROM {table} "
+            f"GROUP BY {column} HAVING COUNT(*) {op} {threshold})"
+        )
+    where = f" WHERE {' AND '.join(preds)}" if preds else ""
+    group_cols = ", ".join(f"{a}.{c}" for a, c in spec["group_by"])
+    return (
+        f"SELECT {group_cols}, COUNT(*) FROM {froms}{where} "
+        f"GROUP BY {group_cols}"
+    )
+
+
+@st.composite
+def query_specs(draw):
+    n_tables = draw(st.integers(1, 2))
+    if n_tables == 1:
+        table = draw(st.sampled_from(sorted(TABLES)))
+        tables = [("t0", table)]
+        joins = []
+    else:
+        (t1, c1) = draw(st.sampled_from(sorted(JOINABLE)))
+        (t2, c2) = draw(st.sampled_from(JOINABLE[(t1, c1)]))
+        tables = [("t0", t1), ("t1", t2)]
+        joins = [(("t0", c1), ("t1", c2))]
+
+    alias_tables = dict(tables)
+    filters = []
+    for __ in range(draw(st.integers(0, 2))):
+        alias = draw(st.sampled_from([a for a, _ in tables]))
+        column = draw(st.sampled_from(TABLES[alias_tables[alias]]))
+        op = draw(st.sampled_from(["=", "<", ">", "<>", "<=", ">="]))
+        if column == "city":
+            value = draw(
+                st.sampled_from(["tor", "mtl", "van", "cal", "ott", "zzz"])
+            )
+            if op not in ("=", "<>"):
+                op = "="
+        else:
+            value = draw(st.integers(0, 150))
+        filters.append((alias, column, op, value))
+
+    semis = []
+    if draw(st.booleans()):
+        alias = draw(st.sampled_from([a for a, _ in tables]))
+        column = draw(st.sampled_from(TABLES[alias_tables[alias]]))
+        op = draw(st.sampled_from(["<", "<=", "=", ">"]))
+        threshold = draw(st.integers(1, 12))
+        semis.append((alias, column, op, threshold))
+
+    group_alias = draw(st.sampled_from([a for a, _ in tables]))
+    group_col = draw(st.sampled_from(TABLES[alias_tables[group_alias]]))
+    group_by = [(group_alias, group_col)]
+
+    return {
+        "tables": tables,
+        "joins": joins,
+        "filters": filters,
+        "semis": semis,
+        "group_by": group_by,
+    }
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(spec=query_specs())
+def test_property_engine_matches_reference(spec):
+    sql = to_sql(spec)
+    expected = reference_eval(spec)
+
+    DB.apply_configuration(P_CONFIG)
+    p_result = DB.execute(sql)
+    assert sorted(p_result.rows()) == expected, sql
+
+    DB.apply_configuration(ONE_C)
+    c_result = DB.execute(sql)
+    assert sorted(c_result.rows()) == expected, sql
+
+
+def test_reference_sanity():
+    spec = {
+        "tables": [("t0", "users")],
+        "joins": [],
+        "filters": [("t0", "age", ">", 40)],
+        "semis": [],
+        "group_by": [("t0", "city")],
+    }
+    expected = reference_eval(spec)
+    assert expected
+    assert sum(r[-1] for r in expected) == sum(
+        1 for row in REFERENCE_ROWS["users"] if row["age"] > 40
+    )

@@ -1,0 +1,153 @@
+"""Engine-level integration: A/E/H measures, builds, inserts."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import CatalogError
+from repro.engine.configuration import (
+    one_column_configuration,
+    primary_configuration,
+)
+
+from conftest import load_city_database
+
+
+def test_execute_returns_query_result(city_db_p):
+    result = city_db_p.execute("SELECT COUNT(*) FROM users u")
+    assert result.rows() == [(500,)]
+    assert result.elapsed > 0
+    assert not result.timed_out
+    assert result.plan is not None
+    assert "SELECT" in result.sql
+
+
+def test_unknown_table_raises(city_db_p):
+    with pytest.raises(Exception):
+        city_db_p.execute("SELECT x FROM missing")
+    with pytest.raises(CatalogError):
+        city_db_p.table("missing")
+
+
+def test_estimate_matches_actual_with_exact_cardinalities(city_db_p):
+    """Single-table scans have exact estimates: E == A."""
+    sql = "SELECT u.city, COUNT(*) FROM users u GROUP BY u.city"
+    estimate = city_db_p.estimate(sql)
+    actual = city_db_p.execute(sql).elapsed
+    assert estimate == pytest.approx(actual, rel=0.05)
+
+
+def test_insert_cost_grows_with_index_count():
+    db = load_city_database(n_users=200, n_orders=1000)
+    batch = {
+        "oid": np.arange(10_000, 10_200),
+        "uid": np.arange(200) % 200,
+        "city": np.array(["tor"] * 200, dtype=object),
+        "amount": np.ones(200, dtype=np.int64),
+    }
+    db.apply_configuration(primary_configuration(db.catalog))
+    cost_p = db.insert_rows("orders", batch)
+
+    db2 = load_city_database(n_users=200, n_orders=1000)
+    db2.apply_configuration(one_column_configuration(db2.catalog))
+    cost_1c = db2.insert_rows("orders", batch)
+    assert cost_1c > cost_p, "1C maintains more indexes per insert"
+
+
+def test_insert_cost_linear_in_rows():
+    db = load_city_database(n_users=200, n_orders=1000)
+    db.apply_configuration(one_column_configuration(db.catalog))
+
+    def batch(n, base):
+        return {
+            "oid": np.arange(base, base + n),
+            "uid": np.arange(n) % 200,
+            "city": np.array(["tor"] * n, dtype=object),
+            "amount": np.ones(n, dtype=np.int64),
+        }
+
+    small = db.insert_rows("orders", batch(100, 20_000))
+    large = db.insert_rows("orders", batch(1000, 30_000))
+    assert large == pytest.approx(10 * small, rel=0.35)
+
+
+def test_insert_keeps_queries_correct(city_db_1c):
+    sql = "SELECT COUNT(*) FROM orders o WHERE o.uid = 77"
+    before = city_db_1c.execute(sql).rows()[0][0]
+    city_db_1c.insert_rows(
+        "orders",
+        {
+            "oid": np.array([99_991, 99_992]),
+            "uid": np.array([77, 77]),
+            "city": np.array(["tor", "mtl"], dtype=object),
+            "amount": np.array([1, 2]),
+        },
+    )
+    after = city_db_1c.execute(sql).rows()[0][0]
+    assert after == before + 2
+
+
+def test_apply_configuration_resets_indexes(city_db):
+    city_db.apply_configuration(one_column_configuration(city_db.catalog))
+    assert city_db.configuration.secondary_indexes()
+    city_db.apply_configuration(primary_configuration(city_db.catalog))
+    assert not city_db.configuration.secondary_indexes()
+
+
+def test_hypothetical_vs_built_estimates_ordering(city_db):
+    """H (hypothetical) is never more optimistic than E (built)."""
+    city_db.apply_configuration(primary_configuration(city_db.catalog))
+    sql = (
+        "SELECT o.city, COUNT(*) FROM orders o WHERE o.uid = 3 "
+        "GROUP BY o.city"
+    )
+    one_c = one_column_configuration(city_db.catalog)
+    hypothetical = city_db.estimate_hypothetical(sql, one_c)
+    city_db.apply_configuration(one_c)
+    built = city_db.estimate(sql)
+    assert built <= hypothetical * 1.0001
+
+
+def test_nref_end_to_end(tiny_nref):
+    """A NREF2J-style query runs and agrees across configurations."""
+    sql = (
+        "SELECT r.lineage, COUNT(*) FROM taxonomy r, taxonomy r2 "
+        "WHERE r.lineage = r2.lineage AND r.taxon_id = 20 "
+        "GROUP BY r.lineage"
+    )
+    p_rows = sorted(tiny_nref.execute(sql).rows() or [])
+    tiny_nref.apply_configuration(
+        one_column_configuration(tiny_nref.catalog, name="1C")
+    )
+    tiny_nref.collect_statistics()
+    c_rows = sorted(tiny_nref.execute(sql).rows() or [])
+    assert p_rows == c_rows
+    tiny_nref.apply_configuration(
+        primary_configuration(tiny_nref.catalog, name="P")
+    )
+    tiny_nref.collect_statistics()
+
+
+def test_tpch_end_to_end(tiny_tpch):
+    sql = (
+        "SELECT t.ps_availqty, COUNT(*) FROM orders r, lineitem s, "
+        "partsupp t WHERE r.o_orderkey = s.l_orderkey "
+        "AND s.l_partkey = t.ps_partkey AND s.l_quantity = 1 "
+        "GROUP BY t.ps_availqty"
+    )
+    result = tiny_tpch.execute(sql)
+    assert not result.timed_out
+    total = sum(n for _, n in result.rows())
+    # Cross-check the grand total with numpy.
+    import numpy as np
+
+    li = tiny_tpch.table("lineitem")
+    ps = tiny_tpch.table("partsupp")
+    sel = li.column("l_quantity") == 1
+    pk, counts = np.unique(
+        ps.column("ps_partkey"), return_counts=True
+    )
+    match = dict(zip(pk.tolist(), counts.tolist()))
+    expected = sum(
+        match.get(int(p), 0) for p in li.column("l_partkey")[sel]
+    )
+    assert total == expected

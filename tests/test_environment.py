@@ -1,0 +1,84 @@
+"""Planner environment metadata: IndexInfo, ViewInfo, PlannerEnv."""
+
+from repro.index.definition import IndexDefinition
+from repro.optimizer.environment import IndexInfo, PlannerEnv, ViewInfo
+from repro.views.matview import MatViewDefinition, ViewColumn
+
+from conftest import load_city_database
+
+
+def test_hypothetical_index_is_conservative():
+    definition = IndexDefinition(table="t", columns=("a",))
+    info = IndexInfo.hypothetical_on(definition, 100_000, 8)
+    assert info.hypothetical
+    assert info.cluster_factor == 1.0, (
+        "without building the index the system must assume the worst "
+        "correlation (the Figure 10 mechanism)"
+    )
+    assert info.data is None
+    assert info.entries == 100_000
+    assert info.leaf_pages > 0 and info.height >= 1
+
+
+def test_from_data_carries_measurements():
+    db = load_city_database(n_users=300, n_orders=900)
+    from repro.index.data import IndexData
+
+    definition = IndexDefinition(table="users", columns=("uid",))
+    data = IndexData(definition, db.table("users"))
+    info = IndexInfo.from_data(data)
+    assert not info.hypothetical
+    assert info.data is data
+    assert info.cluster_factor < 1.0, "uid order matches the heap"
+
+
+def test_hypothetical_size_overhead_factor():
+    definition = IndexDefinition(table="t", columns=("a",))
+    lean = IndexInfo.hypothetical_on(definition, 50_000, 8, 1.0)
+    fat = IndexInfo.hypothetical_on(definition, 50_000, 8, 2.0)
+    assert fat.leaf_pages > lean.leaf_pages
+
+
+def test_view_info_index_lookup():
+    vdef = MatViewDefinition(
+        tables=("orders",),
+        group_columns=(ViewColumn("orders", "uid"),),
+    )
+    ix = IndexInfo.hypothetical_on(
+        IndexDefinition(table=vdef.name, columns=("orders__uid",)),
+        1000,
+        8,
+    )
+    vinfo = ViewInfo(
+        definition=vdef, rows=1000, page_count=3, row_width=16,
+        indexes=[ix],
+    )
+    assert vinfo.index_on("orders__uid") is ix
+    assert vinfo.index_on("cnt") is None
+
+
+def test_planner_env_queries():
+    db = load_city_database(n_users=100, n_orders=100)
+    vdef = MatViewDefinition(
+        tables=("orders",),
+        group_columns=(ViewColumn("orders", "uid"),),
+    )
+    join_vdef = MatViewDefinition(
+        tables=("users", "orders"),
+        join_pred=(("users", "uid"), ("orders", "uid")),
+        group_columns=(ViewColumn("users", "city"),),
+    )
+    env = PlannerEnv(
+        catalog=db.catalog,
+        estimator=None,
+        hardware=db.system.hardware,
+        indexes={"users": ["sentinel"]},
+        views=[
+            ViewInfo(vdef, 10, 1, 16),
+            ViewInfo(join_vdef, 10, 1, 16),
+        ],
+    )
+    assert env.indexes_on("users") == ["sentinel"]
+    assert env.indexes_on("orders") == []
+    assert len(env.views_on_table("orders")) == 1
+    assert len(env.join_views()) == 1

@@ -1,0 +1,199 @@
+"""Executor correctness: every query is cross-checked against a naive
+Python evaluator, in both the P and 1C configurations (different plans,
+identical results)."""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.common.errors import QueryTimeout
+from repro.engine.configuration import (
+    one_column_configuration,
+    primary_configuration,
+)
+
+
+
+
+def rows_sorted(result):
+    return sorted(result.rows())
+
+
+def run_both_configs(city_db, sql):
+    city_db.apply_configuration(primary_configuration(city_db.catalog))
+    p = city_db.execute(sql)
+    city_db.apply_configuration(one_column_configuration(city_db.catalog))
+    c = city_db.execute(sql)
+    assert rows_sorted(p) == rows_sorted(c), "P and 1C plans disagree"
+    return p
+
+
+def test_filter_and_group(city_db):
+    sql = (
+        "SELECT u.city, COUNT(*) FROM users u "
+        "WHERE u.age = 30 GROUP BY u.city"
+    )
+    result = run_both_configs(city_db, sql)
+    users = city_db.table("users")
+    counter = collections.Counter(
+        c for c, a in zip(users.column("city"), users.column("age"))
+        if a == 30
+    )
+    assert rows_sorted(result) == sorted(counter.items())
+
+
+def test_join_group_count(city_db):
+    sql = (
+        "SELECT u.city, COUNT(*) FROM users u, orders o "
+        "WHERE u.uid = o.uid AND u.age = 30 GROUP BY u.city"
+    )
+    result = run_both_configs(city_db, sql)
+    users, orders = city_db.table("users"), city_db.table("orders")
+    city_of = {
+        u: c for u, c, a in zip(
+            users.column("uid"), users.column("city"), users.column("age")
+        ) if a == 30
+    }
+    counter = collections.Counter(
+        city_of[u] for u in orders.column("uid") if u in city_of
+    )
+    assert rows_sorted(result) == sorted(counter.items())
+
+
+def test_count_distinct(city_db):
+    sql = (
+        "SELECT o.city, COUNT(DISTINCT o.uid) FROM orders o "
+        "GROUP BY o.city"
+    )
+    result = run_both_configs(city_db, sql)
+    orders = city_db.table("orders")
+    groups = collections.defaultdict(set)
+    for c, u in zip(orders.column("city"), orders.column("uid")):
+        groups[c].add(u)
+    assert rows_sorted(result) == sorted(
+        (c, len(s)) for c, s in groups.items()
+    )
+
+
+def test_sum_avg_min_max(city_db):
+    sql = (
+        "SELECT o.city, SUM(o.amount), AVG(o.amount), MIN(o.amount), "
+        "MAX(o.amount) FROM orders o GROUP BY o.city"
+    )
+    result = run_both_configs(city_db, sql)
+    orders = city_db.table("orders")
+    groups = collections.defaultdict(list)
+    for c, a in zip(orders.column("city"), orders.column("amount")):
+        groups[c].append(int(a))
+    expected = sorted(
+        (
+            c,
+            float(sum(v)),
+            pytest.approx(sum(v) / len(v)),
+            min(v),
+            max(v),
+        )
+        for c, v in groups.items()
+    )
+    assert rows_sorted(result) == expected
+
+
+def test_grand_total_aggregate(city_db):
+    sql = "SELECT COUNT(*) FROM orders o WHERE o.city = 'tor'"
+    result = run_both_configs(city_db, sql)
+    orders = city_db.table("orders")
+    expected = int(np.sum(orders.column("city") == "tor"))
+    assert result.rows() == [(expected,)]
+
+
+def test_semijoin_membership(city_db):
+    sql = (
+        "SELECT o.city, COUNT(*) FROM orders o WHERE o.uid IN "
+        "(SELECT uid FROM orders GROUP BY uid HAVING COUNT(*) < 4) "
+        "GROUP BY o.city"
+    )
+    result = run_both_configs(city_db, sql)
+    orders = city_db.table("orders")
+    freq = collections.Counter(orders.column("uid").tolist())
+    counter = collections.Counter(
+        c for c, u in zip(orders.column("city"), orders.column("uid"))
+        if freq[u] < 4
+    )
+    assert rows_sorted(result) == sorted(counter.items())
+
+
+def test_self_join(city_db):
+    sql = (
+        "SELECT u1.city, COUNT(*) FROM users u1, users u2 "
+        "WHERE u1.age = u2.age AND u1.city = 'tor' GROUP BY u1.city"
+    )
+    result = run_both_configs(city_db, sql)
+    users = city_db.table("users")
+    ages = collections.Counter(users.column("age").tolist())
+    total = sum(
+        ages[a]
+        for a, c in zip(users.column("age"), users.column("city"))
+        if c == "tor"
+    )
+    assert result.rows() == [("tor", total)]
+
+
+def test_empty_result(city_db):
+    sql = (
+        "SELECT u.city, COUNT(*) FROM users u "
+        "WHERE u.city = 'nowhere' GROUP BY u.city"
+    )
+    result = run_both_configs(city_db, sql)
+    assert result.rows() == []
+
+
+def test_projection_without_aggregates(city_db_p):
+    sql = "SELECT u.uid, u.city FROM users u WHERE u.age = 30"
+    result = city_db_p.execute(sql)
+    users = city_db_p.table("users")
+    expected = sorted(
+        (int(u), c)
+        for u, c, a in zip(
+            users.column("uid"), users.column("city"), users.column("age")
+        )
+        if a == 30
+    )
+    assert rows_sorted(result) == expected
+
+
+def test_timeout_is_reported(city_db_p):
+    sql = (
+        "SELECT u1.city, COUNT(*) FROM users u1, users u2 "
+        "WHERE u1.age = u2.age GROUP BY u1.city"
+    )
+    result = city_db_p.execute(sql, timeout=0.001)
+    assert result.timed_out
+    assert result.elapsed == pytest.approx(0.001)
+    assert result.rows() is None
+
+
+def test_virtual_clock_accumulates(city_db_p):
+    fast = city_db_p.execute("SELECT COUNT(*) FROM users u")
+    slow = city_db_p.execute(
+        "SELECT u.city, COUNT(*) FROM users u, orders o "
+        "WHERE u.uid = o.uid GROUP BY u.city"
+    )
+    assert 0 < fast.elapsed < slow.elapsed
+
+
+def test_determinism(city_db_p):
+    sql = (
+        "SELECT u.city, COUNT(*) FROM users u, orders o "
+        "WHERE u.uid = o.uid GROUP BY u.city"
+    )
+    first = city_db_p.execute(sql)
+    second = city_db_p.execute(sql)
+    assert first.elapsed == second.elapsed
+    assert rows_sorted(first) == rows_sorted(second)
+
+
+def test_query_timeout_exception_fields():
+    err = QueryTimeout(10.0, 12.5)
+    assert err.limit_seconds == 10.0
+    assert err.charged_seconds == 12.5

@@ -1,0 +1,118 @@
+"""The goal-driven recommender (the paper's Section 6 proposal)."""
+
+import pytest
+
+from repro.analysis.cfc import CumulativeFrequencyCurve
+from repro.analysis.goals import StepGoal
+from repro.analysis.measurements import measure_workload
+from repro.engine.configuration import primary_configuration
+from repro.recommender.goal_driven import GoalDrivenRecommender
+from repro.recommender.profiles import RecommenderProfile
+from repro.workload.workload import Workload, make_instance
+
+from conftest import load_city_database
+
+
+@pytest.fixture
+def db():
+    db = load_city_database(n_users=4000, n_orders=30000, seed=13)
+    db.apply_configuration(primary_configuration(db.catalog, name="P"))
+    return db
+
+
+def point_workload(uids):
+    return Workload(
+        "W",
+        [
+            make_instance(
+                f"SELECT o.city, COUNT(*) FROM orders o "
+                f"WHERE o.uid = {u} GROUP BY o.city",
+                "W",
+                u=u,
+            )
+            for u in uids
+        ],
+    )
+
+
+def test_goal_already_met_selects_nothing(db):
+    workload = point_workload([1, 2, 3])
+    lax_goal = StepGoal(steps=((10_000.0, 0.5),))
+    rec = GoalDrivenRecommender(
+        db, lax_goal, RecommenderProfile("g", min_improvement=0.001)
+    )
+    outcome = rec.recommend_for_goal(workload, budget_bytes=10**9)
+    assert outcome.goal_met
+    assert outcome.selected == []
+    assert outcome.iterations == 0
+
+
+def test_goal_drives_index_selection_and_stops(db):
+    workload = point_workload([1, 7, 19, 42, 77, 120])
+    # P-config point lookups scan orders (~tens of virtual seconds);
+    # demand that most finish fast.
+    goal = StepGoal(steps=((10.0, 0.8),))
+    rec = GoalDrivenRecommender(
+        db, goal, RecommenderProfile("g", min_improvement=0.001)
+    )
+    outcome = rec.recommend_for_goal(workload, budget_bytes=10**9)
+    assert outcome.selected, "the goal requires at least one index"
+    assert outcome.goal_met
+    assert outcome.estimated_margin > 0
+
+    # The goal-driven advisor stops early: it should not have grabbed
+    # every candidate in sight.
+    assert len(outcome.selected) <= 3
+
+    # And the *actual* curve clears the goal too.
+    db.apply_configuration(outcome.configuration)
+    db.collect_statistics()
+    measurement = measure_workload(db, workload)
+    curve = CumulativeFrequencyCurve(measurement)
+    assert goal.satisfied_by(curve)
+
+
+def test_infeasible_goal_reports_not_met(db):
+    workload = point_workload([1, 7, 19])
+    impossible = StepGoal(steps=((1e-6, 0.99),))
+    rec = GoalDrivenRecommender(
+        db, impossible, RecommenderProfile("g", min_improvement=0.001)
+    )
+    outcome = rec.recommend_for_goal(workload, budget_bytes=10**9)
+    assert not outcome.goal_met
+    assert outcome.estimated_margin <= 0
+
+
+def test_budget_constrains_goal_search(db):
+    workload = point_workload([1, 7, 19, 42])
+    goal = StepGoal(steps=((10.0, 0.9),))
+    rec = GoalDrivenRecommender(
+        db, goal, RecommenderProfile("g", min_improvement=0.001)
+    )
+    outcome = rec.recommend_for_goal(workload, budget_bytes=1024)
+    assert outcome.used_bytes <= 1024
+    assert not outcome.selected
+
+
+def test_weighted_workload_shifts_the_curve(db):
+    heavy = make_instance(
+        "SELECT o.city, COUNT(*) FROM orders o GROUP BY o.city",
+        "W",
+        weight=9.0,
+    )
+    light = make_instance(
+        "SELECT o.city, COUNT(*) FROM orders o WHERE o.uid = 3 "
+        "GROUP BY o.city",
+        "W",
+        weight=1.0,
+    )
+    workload = Workload("W", [heavy, light])
+    measurement = measure_workload(db, workload)
+    curve = CumulativeFrequencyCurve(measurement)
+    # The slow scan carries 90% of the weight: no point below its time
+    # can clear 0.5.
+    slow_time = measurement.elapsed[0]
+    assert curve([slow_time * 0.99])[0] <= 0.1 + 1e-9
+    assert measurement.lower_bound_total() == pytest.approx(
+        9 * measurement.elapsed[0] + measurement.elapsed[1]
+    )

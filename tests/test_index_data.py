@@ -1,0 +1,135 @@
+"""Built index data: probes, sizes, cluster factors, B+-tree agreement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.data import IndexData, gather_ranges
+from repro.index.definition import (
+    IndexDefinition,
+    estimate_index_size,
+    heap_fetch_pages,
+)
+
+
+def make_index(city_db, table, columns):
+    definition = IndexDefinition(table=table, columns=tuple(columns))
+    return IndexData(definition, city_db.table(table))
+
+
+def test_definition_validation():
+    with pytest.raises(ValueError):
+        IndexDefinition(table="t", columns=())
+    with pytest.raises(ValueError):
+        IndexDefinition(table="t", columns=("a", "a"))
+    ix = IndexDefinition(table="t", columns=("a", "b"))
+    assert ix.width == 2
+    assert ix.covers(["a"]) and ix.covers(["a", "b"])
+    assert not ix.covers(["c"])
+    assert ix.has_prefix(["a"]) and ix.has_prefix(["b", "a"])
+    assert not ix.has_prefix(["b"])
+
+
+def test_lookup_eq_single_column(city_db):
+    index = make_index(city_db, "users", ["city"])
+    column = city_db.table("users").column("city")
+    for value in ("tor", "mtl", "nowhere"):
+        got = sorted(index.lookup_eq((value,)).tolist())
+        expected = sorted(np.flatnonzero(column == value).tolist())
+        assert got == expected
+
+
+def test_lookup_eq_composite_prefix(city_db):
+    index = make_index(city_db, "users", ["city", "age"])
+    users = city_db.table("users")
+    city, age = users.column("city"), users.column("age")
+    got = sorted(index.lookup_eq(("tor", 30)).tolist())
+    expected = sorted(
+        np.flatnonzero((city == "tor") & (age == 30)).tolist()
+    )
+    assert got == expected
+    # A 1-column prefix also works.
+    assert sorted(index.lookup_eq(("tor",)).tolist()) == sorted(
+        np.flatnonzero(city == "tor").tolist()
+    )
+    with pytest.raises(ValueError):
+        index.lookup_eq(("tor", 30, 1))
+
+
+def test_probe_many_matches_loop(city_db):
+    index = make_index(city_db, "orders", ["uid"])
+    uid = city_db.table("orders").column("uid")
+    probes = np.array([0, 1, 2, 9999, 1])
+    (row_ids, probe_idx), (lows, highs) = index.probe_many(probes)
+    assert len(row_ids) == len(probe_idx)
+    assert (highs - lows).sum() == len(row_ids)
+    for p, expected in enumerate(probes):
+        got = sorted(row_ids[probe_idx == p].tolist())
+        assert got == sorted(np.flatnonzero(uid == expected).tolist())
+
+
+def test_count_many(city_db):
+    index = make_index(city_db, "orders", ["uid"])
+    uid = city_db.table("orders").column("uid")
+    probes = np.arange(10)
+    counts = index.count_many(probes)
+    for p, c in zip(probes, counts):
+        assert c == int(np.sum(uid == p))
+
+
+def test_tree_agrees_with_arrays(city_db):
+    index = make_index(city_db, "users", ["city", "age"])
+    tree = index.tree()
+    tree.check_invariants()
+    assert len(tree) == index.entry_count
+    got = sorted(tree.search(("tor", 30)))
+    assert got == sorted(index.lookup_eq(("tor", 30)).tolist())
+
+
+def test_cluster_factor_bounds(city_db):
+    clustered = make_index(city_db, "users", ["uid"])  # insertion order
+    scattered = make_index(city_db, "users", ["city"])
+    assert 0 < clustered.cluster_factor <= 1.0
+    assert 0 < scattered.cluster_factor <= 1.0
+    # uid follows the heap order, so its cluster factor is far smaller.
+    assert clustered.cluster_factor < scattered.cluster_factor
+
+
+def test_size_estimate_properties():
+    small = estimate_index_size(100, 8)
+    big = estimate_index_size(1_000_000, 8)
+    assert big.leaf_pages > small.leaf_pages
+    assert big.height >= small.height
+    assert big.byte_size > small.byte_size
+    inflated = estimate_index_size(1_000_000, 8, overhead_factor=2.0)
+    assert inflated.byte_size > big.byte_size
+
+
+def test_heap_fetch_pages_monotone():
+    previous = 0.0
+    for k in (0, 1, 10, 100, 1000, 10_000):
+        pages = heap_fetch_pages(k, 10_000, 500)
+        assert pages >= previous
+        assert pages <= 500
+        previous = pages
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    data=st.lists(st.integers(0, 20), min_size=1, max_size=200),
+    probes=st.lists(st.integers(0, 25), min_size=0, max_size=50),
+)
+def test_property_gather_ranges(data, probes):
+    """gather_ranges equals the naive per-range concatenation."""
+    values = np.sort(np.array(data))
+    probes = np.array(probes)
+    lows = np.searchsorted(values, probes, side="left")
+    highs = np.searchsorted(values, probes, side="right")
+    got_values, got_ranges = gather_ranges(values, lows, highs)
+    expected_values, expected_ranges = [], []
+    for i, (lo, hi) in enumerate(zip(lows, highs)):
+        expected_values.extend(values[lo:hi].tolist())
+        expected_ranges.extend([i] * (hi - lo))
+    assert got_values.tolist() == expected_values
+    assert got_ranges.tolist() == expected_ranges

@@ -1,0 +1,207 @@
+"""Planner behavior: access-path selection, join methods, what-if mode."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import PlanError
+from repro.engine.configuration import (
+    Configuration,
+    one_column_configuration,
+    primary_configuration,
+)
+from repro.index.definition import IndexDefinition
+from repro.optimizer.planner import Planner
+from repro.optimizer.plans import (
+    HashJoin,
+    IndexNLJoin,
+    IndexScan,
+    SeqScan,
+    walk,
+)
+
+from conftest import load_city_database
+
+
+@pytest.fixture
+def db():
+    # A larger instance so index paths actually win.
+    return load_city_database(n_users=5000, n_orders=40000, seed=3)
+
+
+def plan_for(db, sql):
+    return Planner(db.planner_env()).plan(db.bind(sql))
+
+
+def nodes_of(plan, cls):
+    return [n for n in walk(plan) if isinstance(n, cls)]
+
+
+def test_seq_scan_without_indexes(db):
+    db.apply_configuration(primary_configuration(db.catalog))
+    plan = plan_for(
+        db, "SELECT u.city, COUNT(*) FROM users u GROUP BY u.city"
+    )
+    assert nodes_of(plan, SeqScan)
+    assert not nodes_of(plan, IndexScan)
+
+
+def test_selective_filter_uses_index(db):
+    db.apply_configuration(one_column_configuration(db.catalog))
+    plan = plan_for(
+        db,
+        "SELECT u.city, COUNT(*) FROM users u "
+        "WHERE u.uid = 17 GROUP BY u.city",
+    )
+    scans = nodes_of(plan, IndexScan)
+    assert scans, "selective equality should use the uid index"
+    assert scans[0].index.definition.columns == ("uid",)
+
+
+def test_unselective_filter_prefers_scan(db):
+    db.apply_configuration(one_column_configuration(db.catalog))
+    plan = plan_for(
+        db,
+        "SELECT u.uid, COUNT(*) FROM users u "
+        "WHERE u.city = 'tor' GROUP BY u.uid",
+    )
+    # city = 'tor' matches ~20% of rows: a full scan is cheaper than
+    # fetching a fifth of the heap through an index.
+    assert nodes_of(plan, SeqScan)
+
+
+def test_estimated_cost_monotone_in_configuration(db):
+    """More indexes can only lower (or keep) the estimated best cost."""
+    sql = (
+        "SELECT o.city, COUNT(*) FROM orders o "
+        "WHERE o.uid = 3 GROUP BY o.city"
+    )
+    db.apply_configuration(primary_configuration(db.catalog))
+    cost_p = db.estimate(sql)
+    db.apply_configuration(one_column_configuration(db.catalog))
+    cost_1c = db.estimate(sql)
+    assert cost_1c <= cost_p
+
+
+def test_join_method_selection(db):
+    db.apply_configuration(one_column_configuration(db.catalog))
+    selective = plan_for(
+        db,
+        "SELECT u.city, COUNT(*) FROM users u, orders o "
+        "WHERE u.uid = o.uid AND u.uid = 12 GROUP BY u.city",
+    )
+    assert nodes_of(selective, IndexNLJoin), (
+        "a one-row outer should drive an index-nested-loop join"
+    )
+    unselective = plan_for(
+        db,
+        "SELECT u.city, COUNT(*) FROM users u, orders o "
+        "WHERE u.uid = o.uid GROUP BY u.city",
+    )
+    assert nodes_of(unselective, HashJoin), (
+        "a full-table join should hash"
+    )
+
+
+def test_what_if_hypothetical_costs(db):
+    db.apply_configuration(primary_configuration(db.catalog))
+    sql = (
+        "SELECT o.city, COUNT(*) FROM orders o "
+        "WHERE o.uid = 3 GROUP BY o.city"
+    )
+    baseline = db.estimate_hypothetical(sql, db.configuration)
+    hypothetical = db.configuration.with_indexes(
+        [IndexDefinition(table="orders", columns=("uid",))], name="H"
+    )
+    improved = db.estimate_hypothetical(sql, hypothetical)
+    assert improved < baseline
+    # Hypothetical estimates are more conservative than estimates taken
+    # in the built target configuration (Figure 10's H-vs-E gap).
+    db.apply_configuration(
+        one_column_configuration(db.catalog)
+    )
+    built = db.estimate(sql)
+    assert built <= improved
+
+
+def test_plan_explain_renders(db):
+    from repro.optimizer.plans import explain
+
+    db.apply_configuration(one_column_configuration(db.catalog))
+    plan = plan_for(
+        db,
+        "SELECT u.city, COUNT(*) FROM users u, orders o "
+        "WHERE u.uid = o.uid AND u.age = 30 GROUP BY u.city",
+    )
+    text = explain(plan)
+    assert "HashAggregate" in text
+    assert "rows=" in text and "cost=" in text
+
+
+def test_semijoin_source_uses_index_only(db):
+    db.apply_configuration(one_column_configuration(db.catalog))
+    plan = plan_for(
+        db,
+        "SELECT o.city, COUNT(*) FROM orders o WHERE o.uid IN "
+        "(SELECT uid FROM orders GROUP BY uid HAVING COUNT(*) < 3) "
+        "GROUP BY o.city",
+    )
+    semis = [
+        semi
+        for node in walk(plan)
+        for semi in getattr(node, "semi_filters", [])
+    ]
+    drivers = [
+        node.driving for node in walk(plan)
+        if hasattr(node, "driving")
+    ]
+    sources = [s.source for s in semis] + [d.source for d in drivers]
+    assert sources
+    assert all(s.via in ("index_only", "view", "scan") for s in sources)
+    assert any(s.via == "index_only" for s in sources)
+
+
+def test_rejects_empty_query():
+    from repro.sql.binder import BoundQuery
+
+    db = load_city_database(n_users=50, n_orders=50)
+    with pytest.raises(PlanError):
+        Planner(db.planner_env()).plan(BoundQuery(relations={}))
+
+
+def test_configuration_equivalence_of_results(db):
+    """Plans under P and 1C return identical answers on a join query."""
+    sql = (
+        "SELECT u.city, COUNT(DISTINCT o.oid) FROM users u, orders o "
+        "WHERE u.uid = o.uid AND u.age = 44 GROUP BY u.city"
+    )
+    db.apply_configuration(primary_configuration(db.catalog))
+    p_rows = sorted(db.execute(sql).rows())
+    db.apply_configuration(one_column_configuration(db.catalog))
+    c_rows = sorted(db.execute(sql).rows())
+    assert p_rows == c_rows
+
+
+def test_composite_index_prefix_consumption(db):
+    config = primary_configuration(db.catalog).with_indexes(
+        [IndexDefinition(table="users", columns=("city", "age"))],
+        name="comp",
+    )
+    db.apply_configuration(config)
+    plan = plan_for(
+        db,
+        "SELECT u.uid, COUNT(*) FROM users u "
+        "WHERE u.city = 'tor' AND u.age = 30 GROUP BY u.uid",
+    )
+    scans = nodes_of(plan, IndexScan)
+    assert scans
+    assert len(scans[0].prefix_filters) == 2
+    assert not scans[0].residual_filters
+    result = db.execute(
+        "SELECT u.uid, COUNT(*) FROM users u "
+        "WHERE u.city = 'tor' AND u.age = 30 GROUP BY u.uid"
+    )
+    users = db.table("users")
+    expected = int(
+        np.sum((users.column("city") == "tor") & (users.column("age") == 30))
+    )
+    assert len(result.rows()) == expected

@@ -1,0 +1,174 @@
+"""Recommender: candidate generation, greedy selection, failure modes."""
+
+import pytest
+
+from repro.common.errors import RecommenderGaveUp
+from repro.engine.configuration import primary_configuration
+from repro.recommender.candidates import (
+    index_candidates,
+    roles_of,
+    view_candidates,
+)
+from repro.recommender.profiles import RecommenderProfile
+from repro.recommender.whatif import WhatIfRecommender
+from repro.workload.workload import Workload, make_instance
+
+from conftest import load_city_database
+
+
+@pytest.fixture
+def db():
+    db = load_city_database(n_users=4000, n_orders=30000, seed=11)
+    db.apply_configuration(primary_configuration(db.catalog, name="P"))
+    return db
+
+
+def workload_of(sqls):
+    return Workload(
+        "W", [make_instance(sql, "W", i=i) for i, sql in enumerate(sqls)]
+    )
+
+
+JOIN_SQL = (
+    "SELECT u.city, COUNT(*) FROM users u, orders o "
+    "WHERE u.uid = o.uid AND u.age = 30 GROUP BY u.city"
+)
+
+
+def test_roles_extraction(db):
+    bound = db.bind(JOIN_SQL)
+    roles = roles_of(bound)
+    assert roles.eq_filter == {"users": ["age"]}
+    assert roles.join == {"users": ["uid"], "orders": ["uid"]}
+    assert roles.group_by == {"users": ["city"]}
+
+
+def test_index_candidates_strategies(db):
+    bound = db.bind(JOIN_SQL)
+    selective = RecommenderProfile("x", leading_strategy="selective-first")
+    groupby = RecommenderProfile("x", leading_strategy="groupby-first")
+    sel_multi = [
+        ix for ix in index_candidates(bound, db.catalog, selective)
+        if ix.table == "users" and ix.width > 1
+    ]
+    grp_multi = [
+        ix for ix in index_candidates(bound, db.catalog, groupby)
+        if ix.table == "users" and ix.width > 1
+    ]
+    assert sel_multi and sel_multi[0].columns[0] == "age"
+    assert grp_multi and grp_multi[0].columns[0] == "city", (
+        "groupby-first leads composites with the grouping column"
+    )
+
+
+def test_view_candidates_require_profile(db):
+    bound = db.bind(JOIN_SQL)
+    without = RecommenderProfile("x", consider_views=False)
+    with_views = RecommenderProfile("x", consider_views=True)
+    assert view_candidates(bound, db.catalog, without) == []
+    views = view_candidates(bound, db.catalog, with_views)
+    assert views, "a COUNT(*) join query admits view candidates"
+    assert any(
+        v.is_join_view and set(v.tables) == {"users", "orders"}
+        for v in views
+    )
+    assert any(not v.is_join_view for v in views), (
+        "single-table pre-aggregations are proposed too"
+    )
+
+
+def test_view_candidates_skip_non_count(db):
+    bound = db.bind(
+        "SELECT u.city, SUM(o.amount) FROM users u, orders o "
+        "WHERE u.uid = o.uid GROUP BY u.city"
+    )
+    profile = RecommenderProfile("x", consider_views=True)
+    assert all(
+        not v.is_join_view
+        for v in view_candidates(bound, db.catalog, profile)
+    )
+
+
+def test_recommend_improves_selective_workload(db):
+    sqls = [
+        f"SELECT o.city, COUNT(*) FROM orders o "
+        f"WHERE o.uid = {u} GROUP BY o.city"
+        for u in (3, 17, 99, 251, 1000)
+    ]
+    recommender = WhatIfRecommender(
+        db, RecommenderProfile("t", min_improvement=0.001)
+    )
+    report = recommender.recommend(workload_of(sqls), budget_bytes=10**9)
+    assert report.configuration.secondary_indexes(), (
+        "point lookups should earn an index on orders.uid"
+    )
+    assert any(
+        ix.columns[0] == "uid" and ix.table == "orders"
+        for ix in report.configuration.secondary_indexes()
+    )
+    assert report.estimated_cost < report.base_cost
+    assert report.used_bytes <= report.budget_bytes
+
+
+def test_zero_budget_recommends_nothing(db):
+    sqls = ["SELECT o.city, COUNT(*) FROM orders o WHERE o.uid = 3 "
+            "GROUP BY o.city"]
+    recommender = WhatIfRecommender(
+        db, RecommenderProfile("t", min_improvement=0.001)
+    )
+    report = recommender.recommend(workload_of(sqls), budget_bytes=0)
+    assert report.configuration.secondary_indexes() == []
+    assert report.used_bytes == 0
+
+
+def test_candidate_limit_gives_up(db):
+    sqls = [JOIN_SQL]
+    recommender = WhatIfRecommender(
+        db, RecommenderProfile("t", max_candidates=2)
+    )
+    with pytest.raises(RecommenderGaveUp) as info:
+        recommender.recommend(workload_of(sqls), budget_bytes=10**9)
+    assert "exceed the search limit" in str(info.value)
+
+
+def test_min_improvement_threshold_stops_greedy(db):
+    sqls = ["SELECT u.city, COUNT(*) FROM users u GROUP BY u.city"]
+    recommender = WhatIfRecommender(
+        db, RecommenderProfile("t", min_improvement=0.9)
+    )
+    report = recommender.recommend(workload_of(sqls), budget_bytes=10**9)
+    assert len(report.configuration.secondary_indexes()) == 0
+
+
+def test_recommendation_respects_budget(db):
+    sqls = [
+        f"SELECT o.city, COUNT(*) FROM orders o "
+        f"WHERE o.uid = {u} GROUP BY o.city"
+        for u in range(8)
+    ] + [
+        "SELECT u.city, COUNT(*) FROM users u WHERE u.age = 30 "
+        "GROUP BY u.city",
+    ]
+    small_budget = 300 * 1024
+    recommender = WhatIfRecommender(
+        db, RecommenderProfile("t", min_improvement=0.001)
+    )
+    report = recommender.recommend(workload_of(sqls), budget_bytes=small_budget)
+    assert report.used_bytes <= small_budget
+
+
+def test_recommended_configuration_executes(db):
+    sqls = [
+        "SELECT o.city, COUNT(*) FROM orders o WHERE o.uid = 3 "
+        "GROUP BY o.city",
+    ]
+    recommender = WhatIfRecommender(
+        db, RecommenderProfile("t", min_improvement=0.001)
+    )
+    report = recommender.recommend(workload_of(sqls), budget_bytes=10**9)
+    before = db.execute(sqls[0])
+    db.apply_configuration(report.configuration)
+    db.collect_statistics()
+    after = db.execute(sqls[0])
+    assert sorted(after.rows()) == sorted(before.rows())
+    assert after.elapsed <= before.elapsed

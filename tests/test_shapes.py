@@ -1,0 +1,75 @@
+"""Shape tests: the paper's qualitative claims at a moderate scale.
+
+These are slower integration tests (one NREF instance at scale 0.15)
+asserting the *direction* of the headline results, independent of the
+full-scale benchmark run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cfc import CumulativeFrequencyCurve, log_grid
+from repro.analysis.measurements import measure_workload
+from repro.datagen.nref import load_nref_database
+from repro.engine.configuration import (
+    one_column_configuration,
+    primary_configuration,
+)
+from repro.engine.systems import system_a
+from repro.workload.nref_families import generate_nref3j
+from repro.workload.sampling import sample_benchmark_workload
+
+
+@pytest.fixture(scope="module")
+def setting():
+    db = load_nref_database(system_a(), scale=0.15)
+    db.apply_configuration(primary_configuration(db.catalog, name="P"))
+    family = generate_nref3j(db)
+    workload = sample_benchmark_workload(db, family, size=20)
+    p_meas = measure_workload(db, workload, configuration="P")
+    db.apply_configuration(
+        one_column_configuration(db.catalog, name="1C")
+    )
+    db.collect_statistics()
+    c_meas = measure_workload(db, workload, configuration="1C")
+    return db, workload, p_meas, c_meas
+
+
+def test_1c_total_beats_p(setting):
+    __, ___, p_meas, c_meas = setting
+    assert c_meas.lower_bound_total() < p_meas.lower_bound_total()
+
+
+def test_1c_no_worse_on_timeouts(setting):
+    __, ___, p_meas, c_meas = setting
+    assert c_meas.timeout_count <= p_meas.timeout_count
+
+
+def test_1c_curve_mostly_above_p(setting):
+    __, ___, p_meas, c_meas = setting
+    grid = log_grid(1.0, 1800.0, points_per_decade=3)
+    p_curve = CumulativeFrequencyCurve(p_meas)
+    c_curve = CumulativeFrequencyCurve(c_meas)
+    diffs = c_curve(grid) - p_curve(grid)
+    assert diffs.mean() >= 0
+    assert diffs.max() > 0.05, "1C pulls clearly ahead somewhere"
+
+
+def test_orders_of_magnitude_exist(setting):
+    """Some queries are >=10x faster under 1C (the Boral/DeWitt point)."""
+    __, ___, p_meas, c_meas = setting
+    done = ~(p_meas.timed_out | c_meas.timed_out)
+    ratios = p_meas.elapsed[done] / np.maximum(c_meas.elapsed[done], 1e-9)
+    assert ratios.max() >= 10.0
+
+
+def test_estimates_order_configurations(setting):
+    """E(W, 1C) < E(W, P): the optimizer knows 1C is better, even if it
+    is conservative about the magnitude (Figure 10's first reading)."""
+    db, workload, __, ___ = setting
+    # db currently sits in 1C.
+    e_1c = sum(db.estimate(q.sql) for q in workload)
+    db.apply_configuration(primary_configuration(db.catalog, name="P"))
+    db.collect_statistics()
+    e_p = sum(db.estimate(q.sql) for q in workload)
+    assert e_1c < e_p

@@ -1,0 +1,38 @@
+"""Bag semantics in the advisor: heavy queries pull the recommendation."""
+
+from repro.engine.configuration import primary_configuration
+from repro.recommender.profiles import RecommenderProfile
+from repro.recommender.whatif import WhatIfRecommender
+from repro.workload.workload import Workload, make_instance
+
+from conftest import load_city_database
+
+
+def test_weights_steer_index_choice():
+    """With a tight budget, the advisor indexes the heavier query."""
+    db = load_city_database(n_users=4000, n_orders=30000, seed=17)
+    db.apply_configuration(primary_configuration(db.catalog, name="P"))
+
+    uid_query = (
+        "SELECT o.city, COUNT(*) FROM orders o WHERE o.uid = 3 "
+        "GROUP BY o.city"
+    )
+    amount_query = (
+        "SELECT o.city, COUNT(*) FROM orders o WHERE o.amount = 17 "
+        "GROUP BY o.city"
+    )
+    profile = RecommenderProfile("t", min_improvement=0.0001,
+                                 max_selected=1)
+
+    def leading_column(weight_uid, weight_amount):
+        workload = Workload("W", [
+            make_instance(uid_query, "W", weight=weight_uid),
+            make_instance(amount_query, "W", weight=weight_amount),
+        ])
+        recommender = WhatIfRecommender(db, profile)
+        report = recommender.recommend(workload, budget_bytes=10**9)
+        assert len(report.selected) == 1
+        return report.selected[0].columns[0]
+
+    assert leading_column(50.0, 1.0) == "uid"
+    assert leading_column(1.0, 50.0) == "amount"
