@@ -13,7 +13,10 @@ The package bundles:
 * AutoAdmin-style configuration recommenders parameterized as the paper's
   Systems A, B and C, plus the P and 1C reference configurations;
 * the evaluation framework: cumulative frequency curves, performance
-  goals, improvement ratios, and one experiment driver per table/figure.
+  goals, improvement ratios, and one experiment driver per table/figure;
+* a measurement runtime (:mod:`repro.runtime`): parallel measurement
+  sessions (``REPRO_JOBS``), fingerprint-keyed plan/estimate caching,
+  and a persistent artifact store (``REPRO_CACHE_DIR``).
 """
 
 from .catalog.catalog import Catalog
@@ -27,12 +30,14 @@ from .engine.database import Database, DEFAULT_TIMEOUT, QueryResult
 from .engine.systems import by_name as system_by_name
 from .engine.systems import system_a, system_b, system_c
 from .index.definition import IndexDefinition
+from .runtime import ArtifactCache, MeasurementSession
 from .sql.parser import parse
 from .storage.types import date, float_, integer, varchar
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArtifactCache",
     "Catalog",
     "ColumnDef",
     "Configuration",
@@ -40,6 +45,7 @@ __all__ = [
     "DEFAULT_TIMEOUT",
     "ForeignKey",
     "IndexDefinition",
+    "MeasurementSession",
     "QueryResult",
     "TableSchema",
     "date",

@@ -65,49 +65,36 @@ class WorkloadMeasurement:
 
 
 def measure_workload(database, workload, timeout=DEFAULT_TIMEOUT,
-                     configuration=None):
-    """Execute every query of a workload; returns a measurement."""
-    elapsed, timed_out, sqls, weights = [], [], [], []
-    for query in workload:
-        result = database.execute(query.sql, timeout=timeout)
-        elapsed.append(result.elapsed)
-        timed_out.append(result.timed_out)
-        sqls.append(query.sql)
-        weights.append(getattr(query, "weight", 1.0))
-    return WorkloadMeasurement(
-        workload=workload.name,
-        configuration=configuration or database.configuration.name,
-        elapsed=np.array(elapsed),
-        timed_out=np.array(timed_out),
-        timeout=timeout,
-        sqls=sqls,
-        weights=np.array(weights),
-    )
+                     configuration=None, jobs=None):
+    """Execute every query of a workload; returns a measurement.
+
+    Thin wrapper over :class:`repro.runtime.MeasurementSession`: the
+    workload fans out over ``jobs`` workers (default: the ``REPRO_JOBS``
+    environment knob, serial when unset) with order-preserving,
+    bit-identical-to-serial results.
+    """
+    from ..runtime.session import MeasurementSession
+
+    with MeasurementSession(database, jobs=jobs) as session:
+        return session.measure(
+            workload, timeout=timeout, configuration=configuration
+        )
 
 
 def estimate_workload(database, workload, configuration=None,
-                      hypothetical=None):
+                      hypothetical=None, jobs=None):
     """Per-query estimated (or hypothetical) costs for a workload.
 
     With ``hypothetical`` set to a configuration, returns ``H`` costs;
-    otherwise ``E`` costs in the current configuration.
+    otherwise ``E`` costs in the current configuration.  Wraps
+    :class:`repro.runtime.MeasurementSession` like
+    :func:`measure_workload`.
     """
-    costs = []
-    for query in workload:
-        if hypothetical is not None:
-            costs.append(
-                database.estimate_hypothetical(query.sql, hypothetical)
-            )
-        else:
-            costs.append(database.estimate(query.sql))
-    return WorkloadMeasurement(
-        workload=workload.name,
-        configuration=configuration or (
-            hypothetical.name if hypothetical is not None
-            else database.configuration.name
-        ),
-        elapsed=np.array(costs),
-        timed_out=np.zeros(len(costs), dtype=bool),
-        timeout=float("inf"),
-        sqls=[q.sql for q in workload],
-    )
+    from ..runtime.session import MeasurementSession
+
+    with MeasurementSession(database, jobs=jobs) as session:
+        return session.estimate(
+            workload,
+            configuration=configuration,
+            hypothetical=hypothetical,
+        )

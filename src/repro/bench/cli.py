@@ -16,6 +16,7 @@ import sys
 import time
 
 from . import ablations as ablation_module
+from ..runtime.artifacts import ArtifactCache
 from .context import BenchContext, BenchSettings
 from .experiments import ALL_EXPERIMENTS
 
@@ -50,6 +51,15 @@ def _build_parser():
                      help="per-query virtual timeout seconds")
     run.add_argument("--results-dir", default="results",
                      help="directory for result files")
+    run.add_argument("--jobs", type=int, default=0,
+                     help="measurement worker-pool width "
+                          "(default: REPRO_JOBS env, serial)")
+    run.add_argument("--cache-dir", default=None,
+                     help="persist built artifacts here "
+                          "(default: REPRO_CACHE_DIR env, off)")
+    run.add_argument("--stats", action="store_true",
+                     help="print runtime cache/timing statistics "
+                          "after the run")
 
     commands.add_parser("ablations", help="run the ablation studies")
 
@@ -67,8 +77,12 @@ def _run_experiments(args):
         scale=args.scale,
         workload_size=args.workload_size,
         timeout=args.timeout,
+        jobs=args.jobs,
     )
-    context = BenchContext(settings)
+    artifacts = None
+    if args.cache_dir is not None:
+        artifacts = ArtifactCache(args.cache_dir)
+    context = BenchContext(settings, artifacts=artifacts)
     wanted = list(ALL_EXPERIMENTS) if "all" in args.experiments \
         else args.experiments
     unknown = [e for e in wanted if e not in ALL_EXPERIMENTS]
@@ -86,6 +100,8 @@ def _run_experiments(args):
         print(f"[{experiment_id} completed in {elapsed:.0f}s]\n")
         path = results_dir / f"{result.experiment}.txt"
         path.write_text(str(result) + "\n")
+    if args.stats:
+        print(context.stats_report())
 
 
 def _run_ablations():

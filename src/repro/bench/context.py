@@ -2,15 +2,25 @@
 
 Building a database, sampling a 100-query workload, constructing P/1C,
 obtaining a recommendation and measuring workloads are shared by every
-figure and table; this module caches those steps per process so a full
-benchmark run builds each artifact once.
+figure and table; this module stores those artifacts in a
+fingerprint-keyed :class:`~repro.runtime.ArtifactCache` so a full
+benchmark run builds each artifact once — and, when ``REPRO_CACHE_DIR``
+points at a directory, persists them so a *second* run skips the builds
+entirely.
 
 Environment knobs:
 
 * ``REPRO_SCALE``          — data scale factor (default 1.0);
 * ``REPRO_WORKLOAD_SIZE``  — queries per sampled workload (default 100);
 * ``REPRO_TIMEOUT``        — per-query virtual timeout in seconds
-  (default 1800, the paper's 30 minutes).
+  (default 1800, the paper's 30 minutes);
+* ``REPRO_JOBS``           — measurement worker-pool width (default 1);
+* ``REPRO_CACHE_DIR``      — artifact persistence directory (default
+  off: artifacts live only in this process).
+
+Every stage is timed (:meth:`BenchContext.stats_report` prints seconds
+per phase, artifact-cache traffic, and each database's planner-cache hit
+rates).
 """
 
 import os
@@ -25,6 +35,8 @@ from ..engine.configuration import (
 )
 from ..engine.systems import by_name as system_by_name
 from ..recommender.whatif import WhatIfRecommender
+from ..runtime.artifacts import ArtifactCache, StageTimings, artifact_key
+from ..runtime.session import MeasurementSession, resolve_jobs
 from ..workload.nref_families import generate_nref2j, generate_nref3j
 from ..workload.sampling import sample_benchmark_workload
 from ..workload.tpch_families import (
@@ -32,7 +44,6 @@ from ..workload.tpch_families import (
     generate_skth3js,
     generate_unth3j,
 )
-from ..analysis.measurements import measure_workload
 
 FAMILY_GENERATORS = {
     "NREF2J": generate_nref2j,
@@ -59,6 +70,7 @@ class BenchSettings:
     workload_size: int = 100
     timeout: float = 1800.0
     seed: int = 405
+    jobs: int = 0          # 0 = resolve from REPRO_JOBS (default serial)
 
     @classmethod
     def from_env(cls):
@@ -68,46 +80,74 @@ class BenchSettings:
             timeout=float(os.environ.get("REPRO_TIMEOUT", "1800")),
         )
 
+    def content_key(self):
+        """The settings fields that determine artifact content.
+
+        ``jobs`` is deliberately excluded: parallel and serial runs
+        produce bit-identical artifacts, so they share cache entries.
+        """
+        return (self.scale, self.workload_size, self.timeout, self.seed)
+
 
 class BenchContext:
-    """Process-wide cache of databases, workloads, and measurements."""
+    """Fingerprint-keyed store of databases, workloads, and measurements."""
 
-    def __init__(self, settings=None):
+    def __init__(self, settings=None, artifacts=None):
         self.settings = settings or BenchSettings.from_env()
-        self._databases = {}
-        self._workloads = {}
-        self._measurements = {}
-        self._recommendations = {}
-        self._build_reports = {}
+        self.artifacts = artifacts or ArtifactCache()
+        self.timings = StageTimings()
+        self.jobs = resolve_jobs(self.settings.jobs or None)
+        # Databases are mutable (configurations get applied in place),
+        # so the live instances are process-local; the artifact store
+        # keeps the expensive *loaded + P-built* snapshot.
+        self._live_databases = {}
+
+    def _key(self, *parts):
+        return artifact_key(*self.settings.content_key(), *parts)
 
     # ------------------------------------------------------------------
     # Databases and configurations
 
     def database(self, system_name, dataset):
         """A loaded database for ``(system, dataset)`` with P applied."""
-        key = (system_name, dataset)
-        if key not in self._databases:
-            system = system_by_name(system_name)
-            if dataset == "nref":
-                db = load_nref_database(
-                    system, scale=self.settings.scale, name="NREF"
-                )
-            elif dataset == "skth":
-                db = load_tpch_database(
-                    system, scale=self.settings.scale, zipf=1.0, name="SkTH"
-                )
-            elif dataset == "unth":
-                db = load_tpch_database(
-                    system, scale=self.settings.scale, zipf=0.0, name="UnTH"
-                )
-            else:
-                raise ValueError(f"unknown dataset {dataset!r}")
-            report = db.apply_configuration(
-                primary_configuration(db.catalog, name="P")
+        live_key = (system_name, dataset)
+        if live_key not in self._live_databases:
+            key = self._key("database", system_name, dataset)
+
+            def build():
+                with self.timings.stage("build_database"):
+                    system = system_by_name(system_name)
+                    if dataset == "nref":
+                        db = load_nref_database(
+                            system, scale=self.settings.scale, name="NREF"
+                        )
+                    elif dataset == "skth":
+                        db = load_tpch_database(
+                            system, scale=self.settings.scale,
+                            zipf=1.0, name="SkTH",
+                        )
+                    elif dataset == "unth":
+                        db = load_tpch_database(
+                            system, scale=self.settings.scale,
+                            zipf=0.0, name="UnTH",
+                        )
+                    else:
+                        raise ValueError(f"unknown dataset {dataset!r}")
+                    report = db.apply_configuration(
+                        primary_configuration(db.catalog, name="P")
+                    )
+                    return db, report
+
+            db, report = self.artifacts.get_or_build(
+                "database", key, build
             )
-            self._databases[key] = db
-            self._build_reports[(system_name, dataset, "P")] = report
-        return self._databases[key]
+            self._live_databases[live_key] = db
+            self.artifacts.put(
+                "build_report",
+                self._key("build_report", system_name, dataset, "P"),
+                report,
+            )
+        return self._live_databases[live_key]
 
     def p_configuration(self, database):
         return primary_configuration(database.catalog, name="P")
@@ -134,23 +174,27 @@ class BenchContext:
         Sampling needs estimated costs, which are taken in the P
         configuration — so the database is (re)set to P first.
         """
-        key = (system_name, family)
-        if key not in self._workloads:
-            db = self.database(system_name, FAMILY_DATASET[family])
-            self._ensure_configuration(db, system_name, "P")
-            full = FAMILY_GENERATORS[family](db)
-            sampled = sample_benchmark_workload(
-                db,
-                full,
-                size=self.settings.workload_size,
-                seed=self.settings.seed,
-            )
-            self._workloads[key] = (full, sampled)
-        return self._workloads[key][1]
+        key = self._key("workload", system_name, family)
+
+        def build():
+            with self.timings.stage("sample_workload"):
+                db = self.database(system_name, FAMILY_DATASET[family])
+                self._ensure_configuration(db, system_name, "P")
+                full = FAMILY_GENERATORS[family](db)
+                sampled = sample_benchmark_workload(
+                    db,
+                    full,
+                    size=self.settings.workload_size,
+                    seed=self.settings.seed,
+                )
+                return full, sampled
+
+        return self.artifacts.get_or_build("workload", key, build)[1]
 
     def full_family(self, system_name, family):
         self.workload(system_name, family)
-        return self._workloads[(system_name, family)][0]
+        key = self._key("workload", system_name, family)
+        return self.artifacts.get("workload", key)[0]
 
     # ------------------------------------------------------------------
     # Recommendations
@@ -160,49 +204,56 @@ class BenchContext:
 
         Returns ``(configuration_or_None, report_or_exception)``.
         """
-        key = (system_name, family)
-        if key not in self._recommendations:
-            db = self.database(system_name, FAMILY_DATASET[family])
-            workload = self.workload(system_name, family)
-            self._ensure_configuration(db, system_name, "P")
-            recommender = WhatIfRecommender(db)
-            budget = self.space_budget(db)
-            try:
-                report = recommender.recommend(
-                    workload, budget, name=f"{family}_R"
-                )
-            except RecommenderGaveUp as failure:
-                self._recommendations[key] = (None, failure)
-            else:
-                self._recommendations[key] = (report.configuration, report)
-        return self._recommendations[key]
+        key = self._key("recommendation", system_name, family)
+
+        def build():
+            with self.timings.stage("recommend"):
+                db = self.database(system_name, FAMILY_DATASET[family])
+                workload = self.workload(system_name, family)
+                self._ensure_configuration(db, system_name, "P")
+                recommender = WhatIfRecommender(db)
+                budget = self.space_budget(db)
+                try:
+                    report = recommender.recommend(
+                        workload, budget, name=f"{family}_R"
+                    )
+                except RecommenderGaveUp as failure:
+                    return (None, failure)
+                return (report.configuration, report)
+
+        return self.artifacts.get_or_build("recommendation", key, build)
 
     # ------------------------------------------------------------------
     # Measurements
 
     def measure(self, system_name, family, config_name):
         """Elapsed times of a family's workload on P / 1C / R (cached)."""
-        key = (system_name, family, config_name)
-        if key not in self._measurements:
+        key = self._key("measurement", system_name, family, config_name)
+
+        def build():
             db = self.database(system_name, FAMILY_DATASET[family])
             workload = self.workload(system_name, family)
-            config = self._resolve_config(db, system_name, family, config_name)
+            config = self._resolve_config(
+                db, system_name, family, config_name
+            )
             if config is None:
-                self._measurements[key] = None
-            else:
-                self._apply(db, system_name, family, config)
-                self._measurements[key] = measure_workload(
-                    db,
-                    workload,
-                    timeout=self.settings.timeout,
-                    configuration=config_name,
-                )
-        return self._measurements[key]
+                return None
+            self._apply(db, system_name, family, config)
+            with self.timings.stage("measure_workload"):
+                with MeasurementSession(db, jobs=self.jobs) as session:
+                    return session.measure(
+                        workload,
+                        timeout=self.settings.timeout,
+                        configuration=config_name,
+                    )
+
+        return self.artifacts.get_or_build("measurement", key, build)
 
     def build_report(self, system_name, dataset, config_name, family=None):
         """BuildReport for a configuration (builds it if needed)."""
-        key = (system_name, dataset, config_name)
-        if key not in self._build_reports:
+        key = self._key("build_report", system_name, dataset, config_name)
+
+        def build():
             db = self.database(system_name, dataset)
             if config_name == "P":
                 config = self.p_configuration(db)
@@ -211,12 +262,45 @@ class BenchContext:
             else:
                 config, _ = self.recommendation(system_name, family)
                 if config is None:
-                    self._build_reports[key] = None
                     return None
-            report = db.apply_configuration(config.renamed(config_name))
-            db.collect_statistics()
-            self._build_reports[key] = report
-        return self._build_reports[key]
+            with self.timings.stage("build_configuration"):
+                report = db.apply_configuration(
+                    config.renamed(config_name)
+                )
+                db.collect_statistics()
+            return report
+
+        return self.artifacts.get_or_build("build_report", key, build)
+
+    # ------------------------------------------------------------------
+    # Accounting
+
+    def stats_report(self):
+        """Per-stage wall clock, artifact traffic, planner-cache rates."""
+        lines = [self.timings.report("bench stage timings")]
+        snap = self.artifacts.snapshot()
+        lines.append(
+            "artifact cache: "
+            f"{snap['memory_hits']} memory hits, "
+            f"{snap['disk_hits']} disk hits, "
+            f"{snap['misses']} misses, "
+            f"{snap['entries']} entries"
+            + (f", dir={snap['directory']}" if snap["directory"] else "")
+        )
+        for (system_name, dataset), db in sorted(
+            self._live_databases.items()
+        ):
+            stats = db.cache_stats()
+            plan = stats["plan_cache"]
+            bind = stats["bind_cache"]
+            lookups = plan["hits"] + plan["misses"]
+            lines.append(
+                f"db {system_name}/{dataset}: plan cache "
+                f"{plan['hits']}/{lookups} hits "
+                f"(rate {plan['hit_rate']:.2f}), "
+                f"bind cache rate {bind['hit_rate']:.2f}"
+            )
+        return "\n".join(lines)
 
     # ------------------------------------------------------------------
     # Internals
@@ -234,21 +318,19 @@ class BenchContext:
     def _apply(self, db, system_name, family, config):
         del system_name, family
         current = db.configuration
-        same_structures = (
-            {ix.name for ix in current.indexes}
-            == {ix.name for ix in config.indexes}
-            and current.view_names() == config.view_names()
-        )
-        if current.name != config.name or not same_structures:
-            db.apply_configuration(config)
-            db.collect_statistics()
+        if (current.name != config.name
+                or current.fingerprint != config.fingerprint):
+            with self.timings.stage("build_configuration"):
+                db.apply_configuration(config)
+                db.collect_statistics()
 
     def _ensure_configuration(self, db, system_name, config_name):
         if config_name == "P" and db.configuration.name != "P":
-            db.apply_configuration(
-                primary_configuration(db.catalog, name="P")
-            )
-            db.collect_statistics()
+            with self.timings.stage("build_configuration"):
+                db.apply_configuration(
+                    primary_configuration(db.catalog, name="P")
+                )
+                db.collect_statistics()
 
 
 _GLOBAL_CONTEXT = None

@@ -8,12 +8,44 @@ configurations of the benchmark:
 * **1C** — P plus one single-column index per indexable column (the
   paper's reference configuration);
 * **R** — whatever a recommender produced.
+
+Configurations carry a stable **content fingerprint** — a hash of the
+structures they contain, independent of the display name — which the
+runtime layer uses to key plan/estimate caches and the artifact store
+(see :mod:`repro.runtime`).
 """
 
+import hashlib
 from dataclasses import dataclass, field
 
 from ..common.errors import ConfigurationError
 from ..index.definition import IndexDefinition
+
+
+def content_fingerprint(*parts):
+    """A short stable hash of an arbitrary (reprable) content tuple.
+
+    Used for configuration identity, plan-cache keys, and artifact-store
+    file names.  Only the *content* matters: two objects with equal
+    canonical parts share a fingerprint across processes.
+    """
+    digest = hashlib.sha1(repr(parts).encode("utf-8")).hexdigest()
+    return digest[:16]
+
+
+def index_content_key(ix):
+    """Canonical content tuple of an :class:`IndexDefinition`."""
+    return ("ix", ix.table, tuple(ix.columns), bool(ix.is_primary))
+
+
+def view_content_key(view):
+    """Canonical content tuple of a :class:`MatViewDefinition`."""
+    return (
+        "mv",
+        tuple(view.tables),
+        view.join_pred,
+        tuple((c.table, c.column) for c in view.group_columns),
+    )
 
 
 @dataclass(frozen=True)
@@ -35,6 +67,26 @@ class Configuration:
             raise ConfigurationError(
                 f"configuration {self.name!r} has duplicate views"
             )
+
+    @property
+    def fingerprint(self):
+        """Stable content hash of the configuration's structures.
+
+        Excludes the display name: ``P`` renamed to ``initial`` is the
+        same physical configuration.  Order-insensitive over indexes and
+        views.  Cached on first access (the dataclass is frozen, so the
+        content can never change afterwards).
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            cached = content_fingerprint(
+                tuple(sorted(index_content_key(ix) for ix in self.indexes)),
+                tuple(sorted(
+                    repr(view_content_key(v)) for v in self.views
+                )),
+            )
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
 
     def with_indexes(self, new_indexes, name=None):
         """A new configuration extended with ``new_indexes`` (deduplicated)."""

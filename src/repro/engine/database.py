@@ -11,11 +11,31 @@ the paper's framework:
 
 plus ``apply_configuration`` (the transition whose cost/size Table 1
 reports) and the insert path of Section 4.4.
+
+Planning is memoized through two fingerprint-keyed caches from the
+runtime layer (:mod:`repro.runtime`):
+
+* a **plan/estimate cache** keyed by
+  ``(sql, config_fingerprint, hypothetical_fingerprint, flags)`` — so
+  ``A``, ``E`` and repeated ``H`` calls on the same SQL under unchanged
+  physical state plan once;
+* an **environment cache** keyed by configuration fingerprint — so a
+  recommender probing one candidate configuration against many queries
+  derives the what-if metadata once.
+
+Both are explicitly invalidated by every state transition that can
+change a plan or a cost: :meth:`Database.apply_configuration`,
+:meth:`Database.insert_rows`, :meth:`Database.collect_statistics`, and
+:meth:`Database.load_table`.  Parse+bind results are memoized separately
+(they depend only on the catalog) so front-end work survives those
+invalidations.
 """
 
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from ..runtime.cache import BoundedCache, CacheStats
 
 from ..common.errors import CatalogError, QueryTimeout
 from ..executor.engine import Executor
@@ -79,6 +99,9 @@ class _BuiltState:
 class Database:
     """One simulated RDBMS instance under a system profile."""
 
+    PLAN_CACHE_SIZE = 8192
+    ENV_CACHE_SIZE = 128
+
     def __init__(self, catalog, system, name="db"):
         self.catalog = catalog
         self.system = system
@@ -89,6 +112,52 @@ class Database:
         self._built = None
         self._bound_cache = {}
         self._view_size_cache = {}
+        self._init_runtime_caches()
+
+    def _init_runtime_caches(self):
+        self._plan_cache = BoundedCache("plan_cache", self.PLAN_CACHE_SIZE)
+        self._env_cache = BoundedCache("env_cache", self.ENV_CACHE_SIZE)
+        self._bind_stats = CacheStats("bind_cache")
+        self._current_fingerprint = None
+
+    # ------------------------------------------------------------------
+    # Pickling (the artifact store persists built databases to disk):
+    # caches hold locks and are cheap to rebuild, so they are dropped.
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        for transient in ("_plan_cache", "_env_cache", "_bind_stats",
+                          "_current_fingerprint", "_bound_cache"):
+            state.pop(transient, None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._bound_cache = {}
+        self._init_runtime_caches()
+
+    # ------------------------------------------------------------------
+    # Cache invalidation
+
+    def invalidate_caches(self):
+        """Drop every plan/estimate/environment cache entry.
+
+        Called by every state transition after which a cached plan or
+        cost could be stale: configuration changes, row inserts, table
+        (re)loads, and statistics collection.  Bound queries survive —
+        binding depends only on the catalog.
+        """
+        self._plan_cache.invalidate()
+        self._env_cache.invalidate()
+        self._current_fingerprint = None
+
+    def cache_stats(self):
+        """Hit/miss snapshots of the plan, environment and bind caches."""
+        return {
+            "plan_cache": self._plan_cache.stats.snapshot(),
+            "env_cache": self._env_cache.stats.snapshot(),
+            "bind_cache": self._bind_stats.snapshot(),
+        }
 
     # ------------------------------------------------------------------
     # Loading and statistics
@@ -98,6 +167,7 @@ class Database:
         self.tables[name] = Table(schema, columns)
         self._bound_cache.clear()
         self._view_size_cache.clear()
+        self.invalidate_caches()
 
     def table(self, name):
         try:
@@ -112,6 +182,7 @@ class Database:
         if self._built is not None:
             for view_table in self._built.view_tables.values():
                 self._view_stats.put(TableStats.collect(view_table))
+        self.invalidate_caches()
 
     # ------------------------------------------------------------------
     # Configurations
@@ -121,6 +192,13 @@ class Database:
         if self._built is None:
             return primary_configuration(self.catalog)
         return self._built.configuration
+
+    @property
+    def configuration_fingerprint(self):
+        """Content fingerprint of the currently-built configuration."""
+        if self._current_fingerprint is None:
+            self._current_fingerprint = self.configuration.fingerprint
+        return self._current_fingerprint
 
     def apply_configuration(self, config):
         """Build ``config`` from scratch; returns a :class:`BuildReport`.
@@ -177,6 +255,7 @@ class Database:
         self._view_stats = StatisticsCatalog()
         for view_table in state.view_tables.values():
             self._view_stats.put(TableStats.collect(view_table))
+        self.invalidate_caches()
         return BuildReport(
             configuration=config.name,
             build_seconds=seconds,
@@ -239,11 +318,22 @@ class Database:
         if isinstance(sql, BoundQuery):
             return sql
         if sql not in self._bound_cache:
+            self._bind_stats.misses += 1
             self._bound_cache[sql] = Binder(self.catalog).bind(parse(sql))
+        else:
+            self._bind_stats.hits += 1
         return self._bound_cache[sql]
 
     def planner_env(self):
-        """Environment describing the *current built* configuration."""
+        """Environment describing the *current built* configuration.
+
+        Memoized per configuration fingerprint; invalidated with the
+        plan cache.
+        """
+        key = ("real", self.configuration_fingerprint)
+        return self._env_cache.get_or_build(key, self._build_planner_env)
+
+    def _build_planner_env(self):
         estimator = Estimator(self._merged_stats(), self.system.policy)
         indexes, views = {}, []
         if self._built is not None:
@@ -280,6 +370,30 @@ class Database:
     def hypothetical_env(self, config, force_hypothetical=False,
                          oracle=False):
         """What-if environment for a configuration that is *not* built.
+
+        Memoized per ``(config fingerprint, flags)``: a recommender
+        probing one candidate configuration against a whole workload
+        derives the hypothetical metadata once.  The environment is
+        read-only after construction (the planner never mutates it), so
+        sharing it across queries — and session worker threads — is
+        safe.
+        """
+        key = (
+            "hypo",
+            self.configuration_fingerprint,
+            config.fingerprint,
+            bool(force_hypothetical),
+            bool(oracle),
+        )
+        return self._env_cache.get_or_build(
+            key,
+            lambda: self._build_hypothetical_env(
+                config, force_hypothetical, oracle
+            ),
+        )
+
+    def _build_hypothetical_env(self, config, force_hypothetical, oracle):
+        """Uncached construction of a what-if environment.
 
         Indexes that happen to exist in the current built configuration
         keep their measured metadata; everything else is derived, and the
@@ -368,9 +482,17 @@ class Database:
         )
 
     def plan(self, sql):
-        """Optimize a query in the current configuration."""
+        """Optimize a query in the current configuration (memoized).
+
+        The cached plan is immutable and is shared by ``estimate`` and
+        ``execute`` — the ``A`` and ``E`` measures of one query under an
+        unchanged configuration plan exactly once.
+        """
         bound = self.bind(sql)
-        return Planner(self.planner_env()).plan(bound)
+        key = ("plan", bound.sql, self.configuration_fingerprint)
+        return self._plan_cache.get_or_build(
+            key, lambda: Planner(self.planner_env()).plan(bound)
+        )
 
     def estimate(self, sql):
         """Estimated cost ``E(q, C)`` in the current configuration."""
@@ -378,11 +500,27 @@ class Database:
 
     def estimate_hypothetical(self, sql, config, force_hypothetical=False,
                               oracle=False):
-        """Hypothetical cost ``H(q, config, current)``."""
+        """Hypothetical cost ``H(q, config, current)`` (memoized).
+
+        Keyed by ``(sql, current fingerprint, candidate fingerprint,
+        flags)``, so a greedy recommender re-probing the same candidate
+        across iterations pays for one optimizer call.
+        """
         bound = self.bind(sql)
-        env = self.hypothetical_env(config, force_hypothetical, oracle)
-        plan = Planner(env).plan(bound)
-        return plan.est.cost
+        key = (
+            "what_if",
+            bound.sql,
+            self.configuration_fingerprint,
+            config.fingerprint,
+            bool(force_hypothetical),
+            bool(oracle),
+        )
+
+        def build():
+            env = self.hypothetical_env(config, force_hypothetical, oracle)
+            return Planner(env).plan(bound).est.cost
+
+        return self._plan_cache.get_or_build(key, build)
 
     def execute(self, sql, timeout=DEFAULT_TIMEOUT):
         """Plan and run a query; returns a :class:`QueryResult`.
@@ -392,7 +530,7 @@ class Database:
         as the paper reports its ``t_out`` bin.
         """
         bound = self.bind(sql)
-        plan = Planner(self.planner_env()).plan(bound)
+        plan = self.plan(bound)
         executor = Executor(
             self._exec_tables(), self.system.hardware, timeout
         )
@@ -426,6 +564,7 @@ class Database:
         table = self.table(table_name)
         appended = table.append_rows(columns)
         self._view_size_cache.clear()
+        self.invalidate_caches()
         heights = []
         if self._built is not None:
             for ix in self._built.configuration.indexes:

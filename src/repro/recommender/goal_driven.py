@@ -50,7 +50,7 @@ class GoalDrivenRecommender(WhatIfRecommender):
         """Add structures until the estimated curve clears the goal."""
         queries = [self._db.bind(q.sql) for q in workload]
         weights = np.array(
-            [getattr(q, "weight", 1.0) for q in workload], dtype=np.float64
+            [q.weight for q in workload], dtype=np.float64
         )
         base_config = self._db.configuration
         candidates = self._collect_candidates(queries, base_config)
@@ -58,7 +58,9 @@ class GoalDrivenRecommender(WhatIfRecommender):
 
         current = base_config
         current_costs = np.array(
-            [self._what_if(q, base_config) for q in queries]
+            self._session.what_if_costs(
+                queries, base_config, oracle=self.oracle
+            )
         )
         used = 0
         selected = []
@@ -89,10 +91,16 @@ class GoalDrivenRecommender(WhatIfRecommender):
                 )
                 if used + max(0, extra) > budget_bytes:
                     continue
+                relevant = [
+                    idx for idx, query in enumerate(queries)
+                    if self._relevant(candidate, query)
+                ]
                 trial_costs = current_costs.copy()
-                for idx, query in enumerate(queries):
-                    if self._relevant(candidate, query):
-                        trial_costs[idx] = self._what_if(query, trial)
+                trial_costs[relevant] = self._session.what_if_costs(
+                    [queries[idx] for idx in relevant],
+                    trial,
+                    oracle=self.oracle,
+                )
                 trial_margin = margin_of(trial_costs)
                 gain = trial_margin - margin
                 if gain <= 1e-12:

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from ..common.errors import RecommenderGaveUp
 from ..engine.configuration import Configuration
 from ..index.definition import IndexDefinition
+from ..runtime.session import MeasurementSession
 from .candidates import index_candidates, view_candidates
 
 
@@ -53,11 +54,14 @@ class RecommendationReport:
 class WhatIfRecommender:
     """Greedy budgeted index/view advisor over what-if optimizer calls."""
 
-    def __init__(self, database, profile=None, oracle=False):
+    def __init__(self, database, profile=None, oracle=False, session=None):
         self._db = database
         self.profile = profile or database.system.recommender
         self.oracle = oracle
-        self._cost_cache = {}
+        # What-if costs are memoized inside the database's
+        # fingerprint-keyed plan cache; the session adds the worker pool
+        # (REPRO_JOBS) that candidate evaluations fan out over.
+        self._session = session or MeasurementSession(database)
 
     def recommend(self, workload, budget_bytes, name=None):
         """Recommend a configuration for ``workload`` under a byte budget.
@@ -68,7 +72,7 @@ class WhatIfRecommender:
         """
         profile = self.profile
         queries = [self._db.bind(q.sql) for q in workload]
-        weights = [getattr(q, "weight", 1.0) for q in workload]
+        weights = [q.weight for q in workload]
         base_config = self._db.configuration
 
         candidates = self._collect_candidates(queries, base_config)
@@ -81,10 +85,10 @@ class WhatIfRecommender:
             )
 
         base_bytes = self._db.estimated_configuration_bytes(base_config)
-        base_costs = [
-            self._what_if(q, base_config) * w
-            for q, w in zip(queries, weights)
-        ]
+        raw_base = self._session.what_if_costs(
+            queries, base_config, oracle=self.oracle
+        )
+        base_costs = [c * w for c, w in zip(raw_base, weights)]
         total = sum(base_costs)
 
         current = base_config
@@ -108,12 +112,19 @@ class WhatIfRecommender:
                 )
                 if used + max(0, extra) > budget_bytes:
                     continue
+                relevant = [
+                    idx for idx, query in enumerate(queries)
+                    if self._relevant(candidate, query)
+                ]
+                raw = self._session.what_if_costs(
+                    [queries[idx] for idx in relevant],
+                    trial,
+                    oracle=self.oracle,
+                )
                 gain = 0.0
                 trial_costs = {}
-                for idx, query in enumerate(queries):
-                    if not self._relevant(candidate, query):
-                        continue
-                    cost = self._what_if(query, trial) * weights[idx]
+                for idx, cost in zip(relevant, raw):
+                    cost *= weights[idx]
                     trial_costs[idx] = cost
                     gain += current_costs[idx] - cost
                 if gain < threshold:
@@ -177,15 +188,14 @@ class WhatIfRecommender:
         # Every cost — including the current configuration's — is taken
         # inside the same what-if session, under the degraded
         # hypothetical policy, so candidate deltas are comparable.
-        key = (bound.sql, _config_key(config))
-        if key not in self._cost_cache:
-            self._cost_cache[key] = self._db.estimate_hypothetical(
-                bound.sql,
-                config,
-                force_hypothetical=True,
-                oracle=self.oracle,
-            )
-        return self._cost_cache[key]
+        # Memoization lives in the database's fingerprint-keyed plan
+        # cache, shared with every other session on this database.
+        return self._db.estimate_hypothetical(
+            bound.sql,
+            config,
+            force_hypothetical=True,
+            oracle=self.oracle,
+        )
 
     def _relevant(self, candidate, bound):
         """Whether a candidate could possibly affect a query's plan."""
@@ -195,10 +205,3 @@ class WhatIfRecommender:
         if hasattr(candidate, "group_columns"):
             return any(t in tables for t in candidate.tables)
         return candidate.table in tables
-
-
-def _config_key(config):
-    return (
-        tuple(sorted(ix.name for ix in config.indexes)),
-        tuple(sorted(v.name for v in config.views)),
-    )

@@ -1,0 +1,33 @@
+"""The measurement runtime layer.
+
+Sits between the engine (:mod:`repro.engine`) and the analysis/bench
+layers, and owns everything about *how* measurements are taken rather
+than *what* they mean:
+
+* :class:`~repro.runtime.cache.BoundedCache` — the thread-safe LRU
+  primitive behind the database's plan/estimate and environment caches
+  (keyed by configuration content fingerprints);
+* :class:`~repro.runtime.session.MeasurementSession` — fans a workload
+  out over a worker pool (``REPRO_JOBS``), with deterministic
+  order-preserving results, per-query timeout handling, and per-stage
+  timing/cache statistics;
+* :class:`~repro.runtime.artifacts.ArtifactCache` — the
+  fingerprint-keyed artifact store (databases, workloads,
+  recommendations, measurements) with optional disk persistence under
+  ``REPRO_CACHE_DIR``.
+"""
+
+from .artifacts import ArtifactCache, StageTimings, artifact_key
+from .cache import BoundedCache, CacheStats
+from .session import JOBS_ENV, MeasurementSession, resolve_jobs
+
+__all__ = [
+    "ArtifactCache",
+    "BoundedCache",
+    "CacheStats",
+    "JOBS_ENV",
+    "MeasurementSession",
+    "StageTimings",
+    "artifact_key",
+    "resolve_jobs",
+]

@@ -1,0 +1,183 @@
+"""Fingerprint-keyed artifact store with optional disk persistence.
+
+Benchmark runs build a handful of expensive artifacts — loaded databases,
+sampled workloads, recommendations, measurements, build reports — and
+every figure/table needs some subset of them.  :class:`ArtifactCache`
+replaces the ad-hoc per-process dicts that used to live in
+``bench/context.py``: artifacts are keyed by *content* (settings +
+configuration fingerprints), held in memory, and — when a cache directory
+is configured via ``REPRO_CACHE_DIR`` or the constructor — persisted with
+:mod:`pickle` so a second process reuses them instead of rebuilding.
+
+:class:`StageTimings` is the companion wall-clock accounting: the bench
+context wraps each pipeline phase (build/sample/recommend/measure) in
+``with timings.stage(name):`` and reports seconds-per-phase at the end.
+"""
+
+import os
+import pickle
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+from ..engine.configuration import content_fingerprint
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_MISSING = object()
+
+
+def artifact_key(*parts):
+    """Stable fingerprint of an artifact's identifying content."""
+    return content_fingerprint(*parts)
+
+
+class ArtifactCache:
+    """Two-level (memory, optional disk) store of benchmark artifacts.
+
+    Artifacts live in namespaces (``kind``) such as ``"database"`` or
+    ``"measurement"``; within a namespace they are addressed by a content
+    fingerprint (use :func:`artifact_key`).  Values must be picklable when
+    persistence is enabled; unpicklable or corrupt disk entries degrade to
+    cache misses, never to errors.
+    """
+
+    def __init__(self, directory=_MISSING):
+        if directory is _MISSING:
+            directory = os.environ.get(CACHE_DIR_ENV) or None
+        self.directory = Path(directory) if directory else None
+        self._memory = {}
+        self._lock = threading.Lock()
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    @property
+    def persistent(self):
+        return self.directory is not None
+
+    def _path(self, kind, key):
+        return self.directory / kind / f"{key}.pkl"
+
+    def get(self, kind, key, default=None):
+        with self._lock:
+            value = self._memory.get((kind, key), _MISSING)
+            if value is not _MISSING:
+                self.memory_hits += 1
+                return value
+        if self.directory is not None:
+            path = self._path(kind, key)
+            try:
+                with open(path, "rb") as handle:
+                    value = pickle.load(handle)
+            except (OSError, pickle.PickleError, EOFError, AttributeError,
+                    ImportError, IndexError):
+                pass
+            else:
+                with self._lock:
+                    self._memory[(kind, key)] = value
+                    self.disk_hits += 1
+                return value
+        with self._lock:
+            self.misses += 1
+        return default
+
+    def put(self, kind, key, value, persist=True):
+        with self._lock:
+            self._memory[(kind, key)] = value
+            self.stores += 1
+        if persist and self.directory is not None:
+            path = self._path(kind, key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".tmp")
+            try:
+                with open(tmp, "wb") as handle:
+                    pickle.dump(value, handle, pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except (OSError, pickle.PickleError, TypeError):
+                # Unpicklable artifact: keep it memory-only.
+                tmp.unlink(missing_ok=True)
+        return value
+
+    def get_or_build(self, kind, key, builder, persist=True):
+        """Cached artifact, building (and storing) it on a miss."""
+        value = self.get(kind, key, _MISSING)
+        if value is _MISSING:
+            value = builder()
+            self.put(kind, key, value, persist=persist)
+        return value
+
+    def contains(self, kind, key):
+        with self._lock:
+            if (kind, key) in self._memory:
+                return True
+        return (
+            self.directory is not None and self._path(kind, key).exists()
+        )
+
+    def clear_memory(self):
+        with self._lock:
+            self._memory.clear()
+
+    def snapshot(self):
+        with self._lock:
+            return {
+                "directory": str(self.directory) if self.directory else None,
+                "memory_hits": self.memory_hits,
+                "disk_hits": self.disk_hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "entries": len(self._memory),
+            }
+
+
+class StageTimings:
+    """Cumulative wall-clock seconds per named pipeline stage."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._seconds = {}
+        self._counts = {}
+
+    @contextmanager
+    def stage(self, name):
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            with self._lock:
+                self._seconds[name] = self._seconds.get(name, 0.0) + elapsed
+                self._counts[name] = self._counts.get(name, 0) + 1
+
+    def add(self, name, seconds):
+        with self._lock:
+            self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+            self._counts[name] = self._counts.get(name, 0) + 1
+
+    def snapshot(self):
+        with self._lock:
+            return {
+                name: {
+                    "seconds": self._seconds[name],
+                    "count": self._counts[name],
+                }
+                for name in self._seconds
+            }
+
+    def report(self, title="stage timings"):
+        rows = self.snapshot()
+        if not rows:
+            return f"{title}: (no stages recorded)"
+        width = max(len(name) for name in rows)
+        lines = [f"{title}:"]
+        for name, row in sorted(
+            rows.items(), key=lambda item: -item[1]["seconds"]
+        ):
+            lines.append(
+                f"  {name:<{width}}  {row['seconds']:9.3f}s"
+                f"  x{row['count']}"
+            )
+        return "\n".join(lines)

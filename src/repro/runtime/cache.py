@@ -1,0 +1,98 @@
+"""Bounded, thread-safe caches and their hit/miss accounting.
+
+:class:`BoundedCache` is the primitive behind the database's plan and
+environment caches: an LRU dict with a hard entry bound, a lock (so a
+:class:`~repro.runtime.session.MeasurementSession` worker pool can share
+one database), and counters that the session's ``stats()`` report reads.
+"""
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+_MISSING = object()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one cache (a snapshot is a plain dict)."""
+
+    name: str
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self):
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self):
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def snapshot(self):
+        return {
+            "name": self.name,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class BoundedCache:
+    """A thread-safe LRU mapping with at most ``maxsize`` entries."""
+
+    def __init__(self, name, maxsize=4096):
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self.stats = CacheStats(name)
+        self._lock = threading.Lock()
+        self._entries = OrderedDict()
+
+    def __len__(self):
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key, default=None):
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self.stats.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
+
+    def put(self, key, value):
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def get_or_build(self, key, builder):
+        """Cached value for ``key``, computing it via ``builder()`` on miss.
+
+        The builder runs *outside* the lock: two racing threads may both
+        build, but both produce the same deterministic value, so the
+        last writer is harmless.
+        """
+        value = self.get(key, _MISSING)
+        if value is _MISSING:
+            value = builder()
+            self.put(key, value)
+        return value
+
+    def invalidate(self):
+        """Drop every entry (configuration/data/statistics changed)."""
+        with self._lock:
+            self._entries.clear()
+            self.stats.invalidations += 1

@@ -1,0 +1,209 @@
+"""Measurement sessions: batched A/E/H measurement over a worker pool.
+
+Every figure and table of the paper reduces to "run a ~100-query workload
+against one database under configurations P/1C/R and compare actual (A),
+estimated (E) and hypothetical (H) costs".  A :class:`MeasurementSession`
+owns that loop:
+
+* queries fan out over a ``concurrent.futures`` **thread pool** whose
+  width comes from the ``REPRO_JOBS`` environment knob (default 1 =
+  serial).  The engine's clock is *virtual* — elapsed times are computed
+  from the cost model, not measured — so parallel execution is
+  bit-identical to serial execution; results are collected in submission
+  order regardless of completion order;
+* per-query timeouts propagate exactly as in the serial path: a timed-out
+  query is clamped to the timeout and flagged, never aborts the batch;
+* the session accumulates per-phase wall-clock and query counts, and its
+  :meth:`stats` merges those with the database's plan/bind/env cache
+  counters — this is where bench runs get their planner-cache hit rates.
+
+``analysis.measurements.measure_workload`` / ``estimate_workload`` and
+the recommender's what-if evaluation loop are thin wrappers over this
+class.
+"""
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from .artifacts import StageTimings
+
+JOBS_ENV = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs=None):
+    """Worker-pool width: explicit argument, else ``REPRO_JOBS``, else 1."""
+    if jobs is None:
+        jobs = os.environ.get(JOBS_ENV, "1")
+    try:
+        jobs = int(jobs)
+    except (TypeError, ValueError):
+        raise ValueError(f"invalid job count {jobs!r}") from None
+    return max(1, jobs)
+
+
+class MeasurementSession:
+    """Runs workloads against one database, possibly in parallel.
+
+    The session may be used as a context manager; otherwise the worker
+    pool (created lazily, only when ``jobs > 1``) is torn down by
+    :meth:`close` or interpreter exit.
+    """
+
+    def __init__(self, database, jobs=None, timeout=None):
+        from ..engine.database import DEFAULT_TIMEOUT
+
+        self.database = database
+        self.jobs = resolve_jobs(jobs)
+        self.timeout = DEFAULT_TIMEOUT if timeout is None else timeout
+        self.timings = StageTimings()
+        self._pool = None
+        self._queries_measured = 0
+        self._queries_estimated = 0
+        self._what_if_calls = 0
+
+    # ------------------------------------------------------------------
+    # Pool plumbing
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    def close(self):
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def _map(self, fn, items):
+        """Apply ``fn`` over ``items``, preserving order.
+
+        Serial when ``jobs == 1``; otherwise the shared thread pool.
+        Exceptions propagate either way (a worker failure fails the
+        batch — only :class:`QueryTimeout` is handled below this level).
+        """
+        items = list(items)
+        if self.jobs == 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.jobs,
+                thread_name_prefix="repro-session",
+            )
+        return list(self._pool.map(fn, items))
+
+    # ------------------------------------------------------------------
+    # Measurement (actual costs, A)
+
+    def measure(self, workload, timeout=None, configuration=None):
+        """Execute every query of ``workload``; a WorkloadMeasurement.
+
+        Deterministic and order-preserving: entry ``i`` always describes
+        ``workload.queries[i]``, whatever the pool width.
+        """
+        from ..analysis.measurements import WorkloadMeasurement
+
+        timeout = self.timeout if timeout is None else timeout
+        queries = list(workload)
+
+        def run(query):
+            return self.database.execute(query.sql, timeout=timeout)
+
+        with self.timings.stage("measure"):
+            results = self._map(run, queries)
+        self._queries_measured += len(queries)
+        return WorkloadMeasurement(
+            workload=workload.name,
+            configuration=(
+                configuration or self.database.configuration.name
+            ),
+            elapsed=np.array([r.elapsed for r in results]),
+            timed_out=np.array([r.timed_out for r in results]),
+            timeout=timeout,
+            sqls=[q.sql for q in queries],
+            weights=np.array([q.weight for q in queries]),
+        )
+
+    # ------------------------------------------------------------------
+    # Estimation (E and H costs)
+
+    def estimate(self, workload, configuration=None, hypothetical=None,
+                 force_hypothetical=False, oracle=False):
+        """Per-query estimated (E) or hypothetical (H) workload costs."""
+        from ..analysis.measurements import WorkloadMeasurement
+
+        queries = list(workload)
+
+        def cost(query):
+            if hypothetical is not None:
+                return self.database.estimate_hypothetical(
+                    query.sql,
+                    hypothetical,
+                    force_hypothetical=force_hypothetical,
+                    oracle=oracle,
+                )
+            return self.database.estimate(query.sql)
+
+        with self.timings.stage("estimate"):
+            costs = self._map(cost, queries)
+        self._queries_estimated += len(queries)
+        return WorkloadMeasurement(
+            workload=workload.name,
+            configuration=configuration or (
+                hypothetical.name if hypothetical is not None
+                else self.database.configuration.name
+            ),
+            elapsed=np.array(costs, dtype=np.float64),
+            timed_out=np.zeros(len(costs), dtype=bool),
+            timeout=float("inf"),
+            sqls=[q.sql for q in queries],
+            weights=np.array([q.weight for q in queries]),
+        )
+
+    def what_if_costs(self, queries, config, oracle=False):
+        """H costs of bound/SQL queries under a candidate configuration.
+
+        The recommender's inner loop: every cost is taken inside the same
+        what-if session (``force_hypothetical=True``) so candidate deltas
+        are comparable, and the database's fingerprint-keyed plan cache
+        memoizes repeats across greedy iterations.
+        """
+
+        def cost(query):
+            sql = getattr(query, "sql", query)
+            return self.database.estimate_hypothetical(
+                sql, config, force_hypothetical=True, oracle=oracle
+            )
+
+        with self.timings.stage("what_if"):
+            costs = self._map(cost, list(queries))
+        self._what_if_calls += len(costs)
+        return costs
+
+    # ------------------------------------------------------------------
+    # Accounting
+
+    def stats(self):
+        """Merged session + database-cache statistics.
+
+        ``plan_cache``/``bind_cache``/``env_cache`` report the database's
+        cumulative counters (the caches are shared by every session on
+        the same database); the ``session`` block is local to this
+        session.
+        """
+        report = {
+            "session": {
+                "jobs": self.jobs,
+                "queries_measured": self._queries_measured,
+                "queries_estimated": self._queries_estimated,
+                "what_if_calls": self._what_if_calls,
+            },
+            "timings": self.timings.snapshot(),
+        }
+        cache_stats = getattr(self.database, "cache_stats", None)
+        if cache_stats is not None:
+            report.update(cache_stats())
+        return report

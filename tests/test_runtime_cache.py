@@ -1,0 +1,222 @@
+"""Cache correctness: fingerprints, plan/estimate memoization, invalidation."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.engine.configuration import (
+    Configuration,
+    content_fingerprint,
+    one_column_configuration,
+    primary_configuration,
+)
+from repro.index.definition import IndexDefinition
+from repro.runtime.cache import BoundedCache
+
+from conftest import load_city_database
+
+GROUPED = (
+    "SELECT o.city, COUNT(*) FROM orders o WHERE o.uid = 3 GROUP BY o.city"
+)
+SCAN = "SELECT u.city, COUNT(*) FROM users u GROUP BY u.city"
+JOIN = (
+    "SELECT u.city, COUNT(*) FROM users u, orders o "
+    "WHERE u.uid = o.uid GROUP BY u.city"
+)
+SQLS = [GROUPED, SCAN, JOIN]
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+
+def test_fingerprint_is_content_based(city_db):
+    p1 = primary_configuration(city_db.catalog, name="P")
+    p2 = primary_configuration(city_db.catalog, name="initial")
+    assert p1.fingerprint == p2.fingerprint          # name is excluded
+    one_c = one_column_configuration(city_db.catalog)
+    assert one_c.fingerprint != p1.fingerprint
+
+
+def test_fingerprint_order_insensitive():
+    a = IndexDefinition(table="users", columns=("uid",))
+    b = IndexDefinition(table="orders", columns=("oid",))
+    assert (
+        Configuration(name="x", indexes=(a, b)).fingerprint
+        == Configuration(name="y", indexes=(b, a)).fingerprint
+    )
+
+
+def test_fingerprint_stable_across_processes():
+    # content_fingerprint must not depend on PYTHONHASHSEED or object ids
+    # (the artifact store uses it for on-disk file names).
+    key = content_fingerprint(("ix", "users", ("uid",), False), 1.0, 100)
+    assert key == content_fingerprint(
+        ("ix", "users", ("uid",), False), 1.0, 100
+    )
+    assert len(key) == 16
+
+
+def test_database_tracks_current_fingerprint(city_db):
+    fp_default = city_db.configuration_fingerprint
+    city_db.apply_configuration(one_column_configuration(city_db.catalog))
+    assert city_db.configuration_fingerprint != fp_default
+    city_db.apply_configuration(primary_configuration(city_db.catalog))
+    assert city_db.configuration_fingerprint == fp_default
+
+
+# ----------------------------------------------------------------------
+# The BoundedCache primitive
+
+def test_bounded_cache_lru_eviction_and_stats():
+    cache = BoundedCache("t", maxsize=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1          # refreshes "a"
+    cache.put("c", 3)                   # evicts "b", the LRU entry
+    assert cache.get("b") is None
+    assert cache.get("a") == 1
+    assert cache.get("c") == 3
+    assert cache.stats.evictions == 1
+    assert cache.stats.misses == 1
+    assert cache.stats.hits == 3
+    cache.invalidate()
+    assert len(cache) == 0
+    assert cache.stats.invalidations == 1
+
+
+# ----------------------------------------------------------------------
+# Plan/estimate cache correctness: warm results == cold planning
+
+def test_warm_estimates_match_cold_planning(city_db_p):
+    warm_first = [city_db_p.estimate(s) for s in SQLS]
+    warm_second = [city_db_p.estimate(s) for s in SQLS]
+    hits = city_db_p.cache_stats()["plan_cache"]["hits"]
+    assert hits >= len(SQLS)
+    city_db_p.invalidate_caches()
+    cold = [city_db_p.estimate(s) for s in SQLS]
+    assert warm_first == warm_second == cold
+
+
+def test_warm_execution_matches_cold_planning(city_db_p):
+    warm = [city_db_p.execute(s).elapsed for s in SQLS]
+    city_db_p.invalidate_caches()
+    cold = [city_db_p.execute(s).elapsed for s in SQLS]
+    assert warm == cold
+
+
+def test_actual_estimated_hypothetical_share_frontend(city_db_p):
+    """A, E and H calls on the same SQL parse+bind once."""
+    one_c = one_column_configuration(city_db_p.catalog)
+    city_db_p.execute(GROUPED)
+    city_db_p.estimate(GROUPED)
+    city_db_p.estimate_hypothetical(GROUPED, one_c)
+    bind = city_db_p.cache_stats()["bind_cache"]
+    assert bind["misses"] == 1
+    assert bind["hits"] >= 2
+
+
+def test_hypothetical_cache_returns_identical_costs(city_db_p):
+    one_c = one_column_configuration(city_db_p.catalog)
+    first = city_db_p.estimate_hypothetical(GROUPED, one_c)
+    second = city_db_p.estimate_hypothetical(GROUPED, one_c)
+    city_db_p.invalidate_caches()
+    cold = city_db_p.estimate_hypothetical(GROUPED, one_c)
+    assert first == second == cold
+    # Different flags are distinct cache entries, not collisions.
+    forced = city_db_p.estimate_hypothetical(
+        GROUPED, one_c, force_hypothetical=True
+    )
+    assert city_db_p.estimate_hypothetical(
+        GROUPED, one_c, force_hypothetical=True
+    ) == forced
+
+
+# ----------------------------------------------------------------------
+# Explicit invalidation events
+
+def test_apply_configuration_invalidates_plans(city_db_p):
+    cost_p = city_db_p.estimate(GROUPED)
+    city_db_p.apply_configuration(
+        one_column_configuration(city_db_p.catalog)
+    )
+    city_db_p.collect_statistics()
+    cost_1c = city_db_p.estimate(GROUPED)
+    # The uid index makes the grouped query strictly cheaper; a stale
+    # cached P plan would have returned cost_p again.
+    assert cost_1c < cost_p
+    assert city_db_p.cache_stats()["plan_cache"]["invalidations"] >= 2
+
+
+def test_insert_rows_invalidates_plans(city_db_p):
+    before = city_db_p.execute(SCAN).elapsed
+    n = 20_000
+    city_db_p.insert_rows(
+        "users",
+        {
+            "uid": np.arange(10_000, 10_000 + n),
+            "city": np.array(["tor"] * n, dtype=object),
+            "age": np.full(n, 30),
+        },
+    )
+    after = city_db_p.execute(SCAN).elapsed
+    # The heap grew 40x; a cached pre-insert execution would be stale.
+    assert after > before
+
+
+def test_collect_statistics_invalidates_estimates(city_db_p):
+    baseline = city_db_p.estimate(SCAN)
+    n = 20_000
+    city_db_p.insert_rows(
+        "users",
+        {
+            "uid": np.arange(10_000, 10_000 + n),
+            "city": np.array(["tor"] * n, dtype=object),
+            "age": np.full(n, 30),
+        },
+    )
+    stale = city_db_p.estimate(SCAN)       # stats still describe 500 rows
+    city_db_p.collect_statistics()
+    fresh = city_db_p.estimate(SCAN)
+    assert stale == baseline
+    assert fresh > stale
+
+
+# ----------------------------------------------------------------------
+# Environment cache and pickling
+
+def test_planner_env_memoized_until_invalidated(city_db_p):
+    env1 = city_db_p.planner_env()
+    env2 = city_db_p.planner_env()
+    assert env1 is env2
+    city_db_p.collect_statistics()
+    assert city_db_p.planner_env() is not env1
+
+
+def test_database_pickle_roundtrip(city_db_p):
+    expected = [city_db_p.estimate(s) for s in SQLS]
+    clone = pickle.loads(pickle.dumps(city_db_p))
+    assert [clone.estimate(s) for s in SQLS] == expected
+    assert clone.configuration_fingerprint == \
+        city_db_p.configuration_fingerprint
+    # Caches restart cold on the clone.
+    assert clone.cache_stats()["plan_cache"]["hits"] == 0
+
+
+def test_identical_databases_share_costs_via_cold_planning(city_db_p):
+    """The cache never changes results: a fresh twin database agrees."""
+    twin = load_city_database()
+    twin.apply_configuration(primary_configuration(twin.catalog))
+    warm = [city_db_p.estimate(s) for s in SQLS]
+    warm = [city_db_p.estimate(s) for s in SQLS]    # now all cache hits
+    cold = [twin.estimate(s) for s in SQLS]
+    assert warm == cold
+
+
+def test_invalid_jobs_rejected():
+    from repro.runtime.session import resolve_jobs
+
+    with pytest.raises(ValueError):
+        resolve_jobs("many")
+    assert resolve_jobs("4") == 4
+    assert resolve_jobs(0) == 1
