@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links in the docs resolve.
+
+Scans ``README.md``, ``EXPERIMENTS.md``, ``DESIGN.md``, ``CHANGES.md``
+and every ``docs/*.md`` for inline links ``[text](target)``, and fails
+if a relative target does not exist on disk. External links
+(``http(s)://``, ``mailto:``) are skipped; ``#fragment`` anchors are
+checked against the target file's headings when the file is markdown.
+
+Usage::
+
+    python scripts/check_docs_links.py [repo_root]
+
+Exit status 0 when every link resolves, 1 otherwise (one line per
+broken link).
+"""
+
+import pathlib
+import re
+import sys
+
+LINK_RE = re.compile(r"(?<!!)\[[^\]]+\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+SKIP_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def heading_anchors(markdown_text):
+    """GitHub-style anchor slugs of every heading in a markdown string."""
+    anchors = set()
+    for heading in HEADING_RE.findall(markdown_text):
+        text = re.sub(r"[`*_]", "", heading).strip().lower()
+        slug = re.sub(r"[^\w\- ]", "", text).replace(" ", "-")
+        anchors.add(slug)
+    return anchors
+
+
+def iter_doc_files(root):
+    for name in ("README.md", "EXPERIMENTS.md", "DESIGN.md", "CHANGES.md"):
+        path = root / name
+        if path.exists():
+            yield path
+    yield from sorted((root / "docs").glob("*.md"))
+
+
+def check_file(path, root):
+    """Broken-link messages for one markdown file (empty when clean)."""
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        target_path, _, fragment = target.partition("#")
+        if not target_path:                     # same-file anchor
+            resolved = path
+        else:
+            resolved = (path.parent / target_path).resolve()
+            try:
+                resolved.relative_to(root.resolve())
+            except ValueError:
+                problems.append(f"{path}: link escapes the repo: {target}")
+                continue
+            if not resolved.exists():
+                problems.append(f"{path}: broken link: {target}")
+                continue
+        if fragment and resolved.suffix == ".md":
+            if fragment not in heading_anchors(resolved.read_text()):
+                problems.append(
+                    f"{path}: missing anchor #{fragment} in "
+                    f"{resolved.name} (link: {target})"
+                )
+    return problems
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    root = pathlib.Path(argv[0]) if argv else pathlib.Path(__file__).parents[1]
+    problems = []
+    checked = 0
+    for path in iter_doc_files(root):
+        checked += 1
+        problems.extend(check_file(path, root))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        return 1
+    print(f"docs links OK ({checked} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

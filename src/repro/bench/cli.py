@@ -5,17 +5,24 @@ Usage::
     python -m repro.bench list
     python -m repro.bench run fig3 tab1
     python -m repro.bench run all --scale 0.25 --workload-size 25
+    python -m repro.bench run fig3 --trace trace.jsonl --report report.json
     python -m repro.bench ablations
 
-Results print to stdout and are written under ``results/``.
+Results print to stdout and are written under ``results/``.  The
+observability flags (``--trace``, ``--metrics``, ``--report``) collect
+spans/metrics/structured reports *about* a run without changing a byte
+of its results; see ``docs/cli.md`` for the full flag reference and
+``docs/observability.md`` for the emitted schemas.
 """
 
 import argparse
 import pathlib
 import sys
 import time
+from contextlib import nullcontext
 
 from . import ablations as ablation_module
+from .. import obs
 from ..runtime.artifacts import ArtifactCache
 from .context import BenchContext, BenchSettings
 from .experiments import ALL_EXPERIMENTS
@@ -60,6 +67,16 @@ def _build_parser():
     run.add_argument("--stats", action="store_true",
                      help="print runtime cache/timing statistics "
                           "after the run")
+    run.add_argument("--trace", default=None, metavar="FILE",
+                     help="record tracing spans and write them as "
+                          "JSONL to FILE")
+    run.add_argument("--metrics", action="store_true",
+                     help="collect engine/optimizer/cache metrics and "
+                          "print them after the run")
+    run.add_argument("--report", default=None, metavar="FILE",
+                     help="write a structured JSON run report "
+                          "(manifest, fingerprints, stage timings, "
+                          "cache stats, per-query A/E/H costs) to FILE")
 
     commands.add_parser("ablations", help="run the ablation studies")
 
@@ -92,16 +109,32 @@ def _run_experiments(args):
         )
     results_dir = pathlib.Path(args.results_dir)
     results_dir.mkdir(exist_ok=True)
-    for experiment_id in wanted:
-        started = time.time()
-        result = ALL_EXPERIMENTS[experiment_id](context)
-        elapsed = time.time() - started
-        print(result)
-        print(f"[{experiment_id} completed in {elapsed:.0f}s]\n")
-        path = results_dir / f"{result.experiment}.txt"
-        path.write_text(str(result) + "\n")
-    if args.stats:
-        print(context.stats_report())
+    # Observability is opt-in: without these flags the NullRecorder
+    # stays installed and every instrumentation site is a no-op.
+    observed = args.trace or args.report or args.metrics
+    scope = obs.recording() if observed else nullcontext(None)
+    with scope as recorder:
+        for experiment_id in wanted:
+            started = time.time()
+            with obs.span("bench.experiment", experiment=experiment_id):
+                result = ALL_EXPERIMENTS[experiment_id](context)
+            elapsed = time.time() - started
+            print(result)
+            print(f"[{experiment_id} completed in {elapsed:.0f}s]\n")
+            path = results_dir / f"{result.experiment}.txt"
+            path.write_text(str(result) + "\n")
+        if args.stats:
+            print(context.stats_report())
+    if args.metrics:
+        print(obs.render_metrics(recorder.metrics.snapshot()))
+    if args.trace:
+        records = recorder.write_trace(args.trace)
+        print(f"[trace: {records} records -> {args.trace}]")
+    if args.report:
+        report = context.run_report(recorder=recorder, experiments=wanted)
+        obs.validate_run_report(report)
+        obs.write_report(report, args.report)
+        print(f"[report -> {args.report}]")
 
 
 def _run_ablations():

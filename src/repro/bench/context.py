@@ -26,6 +26,7 @@ rates).
 import os
 from dataclasses import dataclass
 
+from .. import obs
 from ..common.errors import RecommenderGaveUp
 from ..datagen.nref import load_nref_database
 from ..datagen.tpch import load_tpch_database
@@ -115,7 +116,10 @@ class BenchContext:
             key = self._key("database", system_name, dataset)
 
             def build():
-                with self.timings.stage("build_database"):
+                with self.timings.stage("build_database"), obs.span(
+                    "bench.build_database",
+                    system=system_name, dataset=dataset,
+                ):
                     system = system_by_name(system_name)
                     if dataset == "nref":
                         db = load_nref_database(
@@ -177,7 +181,10 @@ class BenchContext:
         key = self._key("workload", system_name, family)
 
         def build():
-            with self.timings.stage("sample_workload"):
+            with self.timings.stage("sample_workload"), obs.span(
+                "bench.sample_workload",
+                system=system_name, family=family,
+            ):
                 db = self.database(system_name, FAMILY_DATASET[family])
                 self._ensure_configuration(db, system_name, "P")
                 full = FAMILY_GENERATORS[family](db)
@@ -207,7 +214,9 @@ class BenchContext:
         key = self._key("recommendation", system_name, family)
 
         def build():
-            with self.timings.stage("recommend"):
+            with self.timings.stage("recommend"), obs.span(
+                "bench.recommend", system=system_name, family=family,
+            ):
                 db = self.database(system_name, FAMILY_DATASET[family])
                 workload = self.workload(system_name, family)
                 self._ensure_configuration(db, system_name, "P")
@@ -239,7 +248,11 @@ class BenchContext:
             if config is None:
                 return None
             self._apply(db, system_name, family, config)
-            with self.timings.stage("measure_workload"):
+            with self.timings.stage("measure_workload"), obs.span(
+                "bench.measure_workload",
+                system=system_name, family=family,
+                configuration=config_name,
+            ):
                 with MeasurementSession(db, jobs=self.jobs) as session:
                     return session.measure(
                         workload,
@@ -263,7 +276,11 @@ class BenchContext:
                 config, _ = self.recommendation(system_name, family)
                 if config is None:
                     return None
-            with self.timings.stage("build_configuration"):
+            with self.timings.stage("build_configuration"), obs.span(
+                "bench.build_configuration",
+                system=system_name, dataset=dataset,
+                configuration=config_name,
+            ):
                 report = db.apply_configuration(
                     config.renamed(config_name)
                 )
@@ -275,32 +292,35 @@ class BenchContext:
     # ------------------------------------------------------------------
     # Accounting
 
-    def stats_report(self):
-        """Per-stage wall clock, artifact traffic, planner-cache rates."""
-        lines = [self.timings.report("bench stage timings")]
-        snap = self.artifacts.snapshot()
-        lines.append(
-            "artifact cache: "
-            f"{snap['memory_hits']} memory hits, "
-            f"{snap['disk_hits']} disk hits, "
-            f"{snap['misses']} misses, "
-            f"{snap['entries']} entries"
-            + (f", dir={snap['directory']}" if snap["directory"] else "")
+    def live_databases(self):
+        """``((system, dataset), Database)`` pairs built by this context."""
+        return list(self._live_databases.items())
+
+    def run_report(self, recorder=None, experiments=None):
+        """The structured run report of this context's work so far.
+
+        Args:
+            recorder: the run's :class:`~repro.obs.TraceRecorder`, when
+                observability was on (adds metrics, fingerprints, and
+                per-query measurement breakdowns).
+            experiments: experiment ids for the manifest.
+
+        Returns:
+            A dict matching :data:`repro.obs.RUN_REPORT_SCHEMA`.
+        """
+        return obs.build_run_report(
+            self, recorder=recorder, experiments=experiments
         )
-        for (system_name, dataset), db in sorted(
-            self._live_databases.items()
-        ):
-            stats = db.cache_stats()
-            plan = stats["plan_cache"]
-            bind = stats["bind_cache"]
-            lookups = plan["hits"] + plan["misses"]
-            lines.append(
-                f"db {system_name}/{dataset}: plan cache "
-                f"{plan['hits']}/{lookups} hits "
-                f"(rate {plan['hit_rate']:.2f}), "
-                f"bind cache rate {bind['hit_rate']:.2f}"
-            )
-        return "\n".join(lines)
+
+    def stats_report(self):
+        """Per-stage wall clock, artifact traffic, planner-cache rates.
+
+        A console rendering of :meth:`run_report` (the ``--stats``
+        output) — the printed numbers come from the same structured
+        report that ``--report`` exports.
+        """
+        report = self.run_report(recorder=obs.get_recorder())
+        return obs.render_text(report)
 
     # ------------------------------------------------------------------
     # Internals
@@ -320,13 +340,17 @@ class BenchContext:
         current = db.configuration
         if (current.name != config.name
                 or current.fingerprint != config.fingerprint):
-            with self.timings.stage("build_configuration"):
+            with self.timings.stage("build_configuration"), obs.span(
+                "bench.build_configuration", configuration=config.name,
+            ):
                 db.apply_configuration(config)
                 db.collect_statistics()
 
     def _ensure_configuration(self, db, system_name, config_name):
         if config_name == "P" and db.configuration.name != "P":
-            with self.timings.stage("build_configuration"):
+            with self.timings.stage("build_configuration"), obs.span(
+                "bench.build_configuration", configuration="P",
+            ):
                 db.apply_configuration(
                     primary_configuration(db.catalog, name="P")
                 )

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..runtime.cache import BoundedCache, CacheStats
 
 from ..common.errors import CatalogError, QueryTimeout
@@ -207,6 +208,26 @@ class Database:
         and creating every index — mirroring how the paper's Table 1
         reports per-configuration build times.
         """
+        with obs.span(
+            "db.apply_configuration",
+            database=self.name,
+            configuration=config.name,
+        ) as obs_span:
+            report = self._apply_configuration(config)
+            obs_span.set(
+                virtual_s=report.build_seconds,
+                total_bytes=report.total_bytes,
+            )
+        obs.counter_add("engine.configurations_built")
+        obs.event(
+            "configuration",
+            database=self.name,
+            configuration=config.name,
+            fingerprint=config.fingerprint,
+        )
+        return report
+
+    def _apply_configuration(self, config):
         hw = self.system.hardware
         seconds = 0.0
         heap_bytes = 0
@@ -408,6 +429,7 @@ class Database:
         ideal what-if statistics and exists for the ablation study of the
         estimation gap Section 5 of the paper identifies.
         """
+        obs.counter_add("optimizer.hypothetical_env_builds")
         built_by_name = {}
         if self._built is not None:
             built_by_name = dict(self._built.index_data)
@@ -459,6 +481,7 @@ class Database:
                 info = IndexInfo.hypothetical_on(
                     ix, rows, key_width, self.system.index_overhead
                 )
+                obs.counter_add("optimizer.hypothetical_index_probes")
             if ix.table in view_names:
                 view_infos[ix.table].indexes.append(info)
             else:
@@ -490,9 +513,12 @@ class Database:
         """
         bound = self.bind(sql)
         key = ("plan", bound.sql, self.configuration_fingerprint)
-        return self._plan_cache.get_or_build(
-            key, lambda: Planner(self.planner_env()).plan(bound)
-        )
+
+        def build():
+            obs.counter_add("optimizer.plan_builds")
+            return Planner(self.planner_env()).plan(bound)
+
+        return self._plan_cache.get_or_build(key, build)
 
     def estimate(self, sql):
         """Estimated cost ``E(q, C)`` in the current configuration."""
@@ -506,6 +532,7 @@ class Database:
         flags)``, so a greedy recommender re-probing the same candidate
         across iterations pays for one optimizer call.
         """
+        obs.counter_add("optimizer.what_if_calls")
         bound = self.bind(sql)
         key = (
             "what_if",
@@ -517,6 +544,7 @@ class Database:
         )
 
         def build():
+            obs.counter_add("optimizer.what_if_plan_builds")
             env = self.hypothetical_env(config, force_hypothetical, oracle)
             return Planner(env).plan(bound).est.cost
 
@@ -530,19 +558,27 @@ class Database:
         as the paper reports its ``t_out`` bin.
         """
         bound = self.bind(sql)
-        plan = self.plan(bound)
-        executor = Executor(
-            self._exec_tables(), self.system.hardware, timeout
-        )
-        try:
-            outcome = executor.run(plan)
-        except QueryTimeout:
-            return QueryResult(
-                sql=bound.sql,
-                elapsed=float(timeout),
-                timed_out=True,
-                plan=plan,
+        with obs.span("db.execute", database=self.name) as span:
+            plan = self.plan(bound)
+            executor = Executor(
+                self._exec_tables(), self.system.hardware, timeout
             )
+            try:
+                outcome = executor.run(plan)
+            except QueryTimeout:
+                span.set(virtual_s=float(timeout), timed_out=True)
+                obs.counter_add("engine.queries_executed")
+                obs.counter_add("engine.query_timeouts")
+                obs.observe("engine.query_seconds", float(timeout))
+                return QueryResult(
+                    sql=bound.sql,
+                    elapsed=float(timeout),
+                    timed_out=True,
+                    plan=plan,
+                )
+            span.set(virtual_s=outcome.elapsed, timed_out=False)
+        obs.counter_add("engine.queries_executed")
+        obs.observe("engine.query_seconds", outcome.elapsed)
         return QueryResult(
             sql=bound.sql,
             elapsed=outcome.elapsed,
@@ -563,6 +599,7 @@ class Database:
         """
         table = self.table(table_name)
         appended = table.append_rows(columns)
+        obs.counter_add("engine.rows_inserted", appended)
         self._view_size_cache.clear()
         self.invalidate_caches()
         heights = []

@@ -8,12 +8,18 @@ paper's terminology.  A query whose charge crosses the timeout raises
 :class:`~repro.common.errors.QueryTimeout` *before* materializing the
 offending intermediate, so runaway plans (the paper's ``t_out`` bin) are
 cheap to detect.
+
+Scans, probes, and joins additionally feed the ``engine.*`` counters of
+the observability layer (rows scanned, pages read, index probes, join
+output rows); with no recorder installed those calls are no-ops and the
+virtual clock is untouched either way.
 """
 
 from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..common.errors import ExecutionError, QueryTimeout
 from ..optimizer import cost_model as cm
 from ..optimizer.plans import (
@@ -177,6 +183,8 @@ class Executor:
         clock.charge(
             cm.seq_scan(self._hw, table.page_count(), table.row_count)
         )
+        obs.counter_add("engine.rows_scanned", table.row_count)
+        obs.counter_add("engine.pages_read", table.page_count())
         batch = self._base_batch(node.alias, table, node.columns)
         batch = self._apply_filters(batch, node.filters, clock)
         batch = self._apply_semis(batch, node.semi_filters, clock)
@@ -194,6 +202,8 @@ class Executor:
             values = tuple(f.value for f in node.prefix_filters)
             row_ids = info.data.lookup_eq(values)
             matched = len(row_ids)
+            obs.counter_add("engine.index_probes")
+            obs.counter_add("engine.rows_scanned", matched)
             clock.charge(
                 cm.index_descend(self._hw, info.height)
                 + cm.index_leaf_range(
@@ -228,6 +238,8 @@ class Executor:
                 + info.leaf_pages * self._hw.seq_page_read_s
                 + info.entries * self._hw.cpu_row_s
             )
+            obs.counter_add("engine.rows_scanned", info.entries)
+            obs.counter_add("engine.pages_read", info.leaf_pages)
             batch = self._base_batch(node.alias, table, node.columns)
         batch = self._apply_filters(batch, node.residual_filters, clock)
         batch = self._apply_semis(batch, node.semi_filters, clock)
@@ -243,6 +255,8 @@ class Executor:
         allowed = self._semi_allowed(node.driving.source, clock)
         counts = info.data.count_many(allowed)
         matched = int(counts.sum())
+        obs.counter_add("engine.index_probes", len(allowed))
+        obs.counter_add("engine.rows_scanned", matched)
         clock.charge(
             cm.index_probes(
                 self._hw, len(allowed), info.entries, info.leaf_pages
@@ -279,6 +293,8 @@ class Executor:
             )
         table = view.data
         clock.charge(cm.seq_scan(self._hw, view.page_count, view.rows))
+        obs.counter_add("engine.rows_scanned", view.rows)
+        obs.counter_add("engine.pages_read", view.page_count)
         schema = table.schema
         columns, widths = {}, {}
         for batch_key, view_col in node.column_map.items():
@@ -320,6 +336,7 @@ class Executor:
 
         out_width = left.row_width + right.row_width
         clock.charge(cm.join_output(self._hw, out_rows, out_width))
+        obs.counter_add("engine.join_output_rows", out_rows)
         _guard_materialization(out_rows)
 
         left_pos = np.repeat(np.arange(left.rows), counts)
@@ -353,6 +370,8 @@ class Executor:
         probes = outer.columns[node.outer_key]
         counts = info.data.count_many(probes)
         matched = int(counts.sum())
+        obs.counter_add("engine.index_probes", len(probes))
+        obs.counter_add("engine.rows_scanned", matched)
         clock.charge(
             cm.index_probes(
                 self._hw, len(probes), info.entries, info.leaf_pages

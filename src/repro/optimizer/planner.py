@@ -17,6 +17,7 @@ estimator's cardinalities, so the executor can later charge identical
 formulas with actual cardinalities.
 """
 
+from .. import obs
 from ..common.errors import PlanError
 from . import cost_model as cm
 from .plans import (
@@ -62,6 +63,11 @@ class Planner:
             alias: self._access_paths(bound, alias, semi_sources)
             for alias in bound.relations
         }
+        obs.counter_add("optimizer.plans_enumerated")
+        obs.counter_add(
+            "optimizer.access_paths_considered",
+            sum(len(alias_paths) for alias_paths in paths.values()),
+        )
         best = self._enumerate_joins(bound, paths)
         return self._finalize(bound, best)
 

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..analysis.cfc import CumulativeFrequencyCurve
 from ..analysis.measurements import WorkloadMeasurement
 from .whatif import WhatIfRecommender
@@ -48,6 +49,33 @@ class GoalDrivenRecommender(WhatIfRecommender):
 
     def recommend_for_goal(self, workload, budget_bytes, name=None):
         """Add structures until the estimated curve clears the goal."""
+        with obs.span(
+            "recommender.recommend_for_goal",
+            workload=workload.name,
+            budget_bytes=int(budget_bytes),
+        ) as span:
+            recommendation = self._recommend_for_goal(
+                workload, budget_bytes, name
+            )
+            span.set(
+                goal_met=recommendation.goal_met,
+                iterations=recommendation.iterations,
+                selected=len(recommendation.selected),
+                margin=recommendation.estimated_margin,
+            )
+        obs.counter_add("recommender.goal_runs")
+        obs.event(
+            "recommendation",
+            workload=workload.name,
+            configuration=recommendation.configuration.name,
+            fingerprint=recommendation.configuration.fingerprint,
+            iterations=recommendation.iterations,
+            selected=len(recommendation.selected),
+            used_bytes=recommendation.used_bytes,
+        )
+        return recommendation
+
+    def _recommend_for_goal(self, workload, budget_bytes, name=None):
         queries = [self._db.bind(q.sql) for q in workload]
         weights = np.array(
             [q.weight for q in workload], dtype=np.float64

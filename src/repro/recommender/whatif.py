@@ -24,6 +24,7 @@ Reproduced failure modes:
 
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..common.errors import RecommenderGaveUp
 from ..engine.configuration import Configuration
 from ..index.definition import IndexDefinition
@@ -70,14 +71,38 @@ class WhatIfRecommender:
         :class:`RecommenderGaveUp` when the candidate pool exceeds the
         profile's bound.
         """
+        with obs.span(
+            "recommender.recommend",
+            workload=workload.name,
+            profile=self.profile.name,
+            budget_bytes=int(budget_bytes),
+        ) as span:
+            report = self._recommend(workload, budget_bytes, name, span)
+        obs.counter_add("recommender.runs")
+        obs.event(
+            "recommendation",
+            workload=workload.name,
+            configuration=report.configuration.name,
+            fingerprint=report.configuration.fingerprint,
+            candidates=report.candidate_count,
+            iterations=report.iterations,
+            selected=len(report.selected),
+            used_bytes=report.used_bytes,
+        )
+        return report
+
+    def _recommend(self, workload, budget_bytes, name, span):
         profile = self.profile
         queries = [self._db.bind(q.sql) for q in workload]
         weights = [q.weight for q in workload]
         base_config = self._db.configuration
 
         candidates = self._collect_candidates(queries, base_config)
+        obs.counter_add("recommender.candidates_generated", len(candidates))
         if profile.max_candidates is not None and \
                 len(candidates) > profile.max_candidates:
+            span.set(gave_up=True, candidates=len(candidates))
+            obs.counter_add("recommender.give_ups")
             raise RecommenderGaveUp(
                 f"{len(candidates)} candidate structures exceed the "
                 f"search limit of {profile.max_candidates} "
@@ -146,6 +171,14 @@ class WhatIfRecommender:
         final = current.renamed(
             name or f"{self._db.name}_{self.profile.name}_R"
         )
+        span.set(
+            candidates=len(candidates),
+            iterations=iterations,
+            selected=len(selected),
+            used_bytes=used,
+        )
+        obs.counter_add("recommender.iterations", iterations)
+        obs.counter_add("recommender.structures_selected", len(selected))
         return RecommendationReport(
             configuration=final,
             base_cost=total,

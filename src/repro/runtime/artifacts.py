@@ -22,6 +22,7 @@ from contextlib import contextmanager
 from pathlib import Path
 
 from ..engine.configuration import content_fingerprint
+from ..obs import counter_add as _obs_count
 
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
@@ -62,10 +63,22 @@ class ArtifactCache:
         return self.directory / kind / f"{key}.pkl"
 
     def get(self, kind, key, default=None):
+        """Fetch an artifact, trying memory first, then disk.
+
+        Args:
+            kind: artifact namespace (``"database"``, ``"workload"``, …).
+            key: content fingerprint from :func:`artifact_key`.
+            default: returned on a miss.
+
+        Returns:
+            The cached artifact or ``default``; disk hits are promoted
+            into memory on the way out.
+        """
         with self._lock:
             value = self._memory.get((kind, key), _MISSING)
             if value is not _MISSING:
                 self.memory_hits += 1
+                _obs_count("artifact.memory_hits")
                 return value
         if self.directory is not None:
             path = self._path(kind, key)
@@ -79,15 +92,31 @@ class ArtifactCache:
                 with self._lock:
                     self._memory[(kind, key)] = value
                     self.disk_hits += 1
+                _obs_count("artifact.disk_hits")
                 return value
         with self._lock:
             self.misses += 1
+        _obs_count("artifact.misses")
         return default
 
     def put(self, kind, key, value, persist=True):
+        """Store an artifact in memory and, optionally, on disk.
+
+        Args:
+            kind: artifact namespace.
+            key: content fingerprint from :func:`artifact_key`.
+            value: the artifact; must pickle when persistence is on
+                (unpicklable values silently stay memory-only).
+            persist: set ``False`` to keep the artifact memory-only even
+                when a cache directory is configured.
+
+        Returns:
+            ``value``, unchanged.
+        """
         with self._lock:
             self._memory[(kind, key)] = value
             self.stores += 1
+        _obs_count("artifact.stores")
         if persist and self.directory is not None:
             path = self._path(kind, key)
             path.parent.mkdir(parents=True, exist_ok=True)
@@ -102,7 +131,17 @@ class ArtifactCache:
         return value
 
     def get_or_build(self, kind, key, builder, persist=True):
-        """Cached artifact, building (and storing) it on a miss."""
+        """Cached artifact, building (and storing) it on a miss.
+
+        Args:
+            kind: artifact namespace.
+            key: content fingerprint from :func:`artifact_key`.
+            builder: zero-argument callable producing the artifact.
+            persist: forwarded to :meth:`put` on a miss.
+
+        Returns:
+            The cached or freshly built artifact.
+        """
         value = self.get(kind, key, _MISSING)
         if value is _MISSING:
             value = builder()
@@ -110,6 +149,7 @@ class ArtifactCache:
         return value
 
     def contains(self, kind, key):
+        """Whether an artifact exists in memory or on disk (no counters)."""
         with self._lock:
             if (kind, key) in self._memory:
                 return True
@@ -118,10 +158,18 @@ class ArtifactCache:
         )
 
     def clear_memory(self):
+        """Drop the in-memory level (disk entries survive)."""
         with self._lock:
             self._memory.clear()
 
     def snapshot(self):
+        """Traffic counters as a plain dict.
+
+        Returns:
+            ``{"directory", "memory_hits", "disk_hits", "misses",
+            "stores", "entries"}`` — the shape embedded in the run
+            report's ``caches.artifact`` block.
+        """
         with self._lock:
             return {
                 "directory": str(self.directory) if self.directory else None,
@@ -143,6 +191,11 @@ class StageTimings:
 
     @contextmanager
     def stage(self, name):
+        """Context manager charging the block's wall time to ``name``.
+
+        Args:
+            name: stage label (``"measure"``, ``"build_database"``, …).
+        """
         started = time.perf_counter()
         try:
             yield
@@ -153,11 +206,16 @@ class StageTimings:
                 self._counts[name] = self._counts.get(name, 0) + 1
 
     def add(self, name, seconds):
+        """Charge ``seconds`` to stage ``name`` without a context block."""
         with self._lock:
             self._seconds[name] = self._seconds.get(name, 0.0) + seconds
             self._counts[name] = self._counts.get(name, 0) + 1
 
     def snapshot(self):
+        """Cumulative ``{stage: {"seconds", "count"}}`` (a copied dict).
+
+        This is the run report's ``stages`` block.
+        """
         with self._lock:
             return {
                 name: {
@@ -168,16 +226,16 @@ class StageTimings:
             }
 
     def report(self, title="stage timings"):
-        rows = self.snapshot()
-        if not rows:
-            return f"{title}: (no stages recorded)"
-        width = max(len(name) for name in rows)
-        lines = [f"{title}:"]
-        for name, row in sorted(
-            rows.items(), key=lambda item: -item[1]["seconds"]
-        ):
-            lines.append(
-                f"  {name:<{width}}  {row['seconds']:9.3f}s"
-                f"  x{row['count']}"
-            )
-        return "\n".join(lines)
+        """Console rendering of the snapshot, slowest stage first.
+
+        Args:
+            title: heading line of the block.
+
+        Returns:
+            A multi-line string (identical format to
+            :func:`repro.obs.report.render_stages`, which report-backed
+            consumers should prefer).
+        """
+        from ..obs.report import render_stages
+
+        return render_stages(self.snapshot(), title=title)

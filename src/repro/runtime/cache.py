@@ -4,18 +4,33 @@
 environment caches: an LRU dict with a hard entry bound, a lock (so a
 :class:`~repro.runtime.session.MeasurementSession` worker pool can share
 one database), and counters that the session's ``stats()`` report reads.
+
+Every cache additionally feeds the observability layer
+(:mod:`repro.obs`): each hit/miss/eviction/invalidation increments a
+``cache.<name>.*`` counter on the active recorder.  With the default
+:class:`~repro.obs.recorder.NullRecorder` those calls are no-ops, so an
+un-observed run pays nothing beyond the local :class:`CacheStats`
+integers it always kept.
 """
 
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from ..obs import counter_add as _obs_count
+
 _MISSING = object()
 
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters of one cache (a snapshot is a plain dict)."""
+    """Hit/miss counters of one cache (a snapshot is a plain dict).
+
+    Attributes:
+        name: the cache's stable name (``"plan_cache"``, …) — also the
+            middle segment of its ``cache.<name>.*`` metric names.
+        hits / misses / evictions / invalidations: cumulative counts.
+    """
 
     name: str
     hits: int = 0
@@ -25,15 +40,24 @@ class CacheStats:
 
     @property
     def lookups(self):
+        """Total lookups (hits + misses)."""
         return self.hits + self.misses
 
     @property
     def hit_rate(self):
+        """Fraction of lookups served from the cache (0.0 when unused)."""
         if not self.lookups:
             return 0.0
         return self.hits / self.lookups
 
     def snapshot(self):
+        """The counters as a plain JSON-serializable dict.
+
+        Returns:
+            ``{"name", "hits", "misses", "evictions", "invalidations",
+            "hit_rate"}`` — the per-cache shape embedded in session
+            stats and in the run report's ``caches.databases`` block.
+        """
         return {
             "name": self.name,
             "hits": self.hits,
@@ -45,7 +69,13 @@ class CacheStats:
 
 
 class BoundedCache:
-    """A thread-safe LRU mapping with at most ``maxsize`` entries."""
+    """A thread-safe LRU mapping with at most ``maxsize`` entries.
+
+    Args:
+        name: stable cache name used in statistics and metrics.
+        maxsize: hard bound on resident entries; the least recently
+            used entry is evicted when an insert would exceed it.
+    """
 
     def __init__(self, name, maxsize=4096):
         if maxsize <= 0:
@@ -54,22 +84,49 @@ class BoundedCache:
         self.stats = CacheStats(name)
         self._lock = threading.Lock()
         self._entries = OrderedDict()
+        # Metric names are precomputed so the hot path does no string
+        # formatting; with the NullRecorder the counter call is a no-op.
+        self._metric_hits = f"cache.{name}.hits"
+        self._metric_misses = f"cache.{name}.misses"
+        self._metric_evictions = f"cache.{name}.evictions"
+        self._metric_invalidations = f"cache.{name}.invalidations"
 
     def __len__(self):
         with self._lock:
             return len(self._entries)
 
     def get(self, key, default=None):
+        """Look up ``key``, counting a hit or a miss.
+
+        Args:
+            key: any hashable key.
+            default: value to return on a miss.
+
+        Returns:
+            The cached value (refreshing its LRU position) or
+            ``default``.
+        """
         with self._lock:
             value = self._entries.get(key, _MISSING)
             if value is _MISSING:
                 self.stats.misses += 1
-                return default
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            return value
+            else:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+        if value is _MISSING:
+            _obs_count(self._metric_misses)
+            return default
+        _obs_count(self._metric_hits)
+        return value
 
     def put(self, key, value):
+        """Insert or refresh ``key``, evicting LRU entries over the bound.
+
+        Args:
+            key: any hashable key.
+            value: the value to cache (stored as-is, never copied).
+        """
+        evicted = 0
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
@@ -77,6 +134,9 @@ class BoundedCache:
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
+                evicted += 1
+        if evicted:
+            _obs_count(self._metric_evictions, evicted)
 
     def get_or_build(self, key, builder):
         """Cached value for ``key``, computing it via ``builder()`` on miss.
@@ -84,6 +144,13 @@ class BoundedCache:
         The builder runs *outside* the lock: two racing threads may both
         build, but both produce the same deterministic value, so the
         last writer is harmless.
+
+        Args:
+            key: any hashable key.
+            builder: zero-argument callable producing the value.
+
+        Returns:
+            The cached or freshly built value.
         """
         value = self.get(key, _MISSING)
         if value is _MISSING:
@@ -96,3 +163,4 @@ class BoundedCache:
         with self._lock:
             self._entries.clear()
             self.stats.invalidations += 1
+        _obs_count(self._metric_invalidations)

@@ -27,13 +27,24 @@ from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
+from .. import obs
 from .artifacts import StageTimings
 
 JOBS_ENV = "REPRO_JOBS"
 
 
 def resolve_jobs(jobs=None):
-    """Worker-pool width: explicit argument, else ``REPRO_JOBS``, else 1."""
+    """Worker-pool width: explicit argument, else ``REPRO_JOBS``, else 1.
+
+    Args:
+        jobs: desired width, or ``None`` to consult the environment.
+
+    Returns:
+        A positive integer pool width (values below 1 clamp to 1).
+
+    Raises:
+        ValueError: when the argument or env value is not an integer.
+    """
     if jobs is None:
         jobs = os.environ.get(JOBS_ENV, "1")
     try:
@@ -49,6 +60,20 @@ class MeasurementSession:
     The session may be used as a context manager; otherwise the worker
     pool (created lazily, only when ``jobs > 1``) is torn down by
     :meth:`close` or interpreter exit.
+
+    Args:
+        database: the :class:`~repro.engine.database.Database` every
+            query of this session runs against.
+        jobs: worker-pool width (``None`` resolves ``REPRO_JOBS``).
+        timeout: default per-query virtual timeout in seconds (``None``
+            uses the engine default, the paper's 30 minutes).
+
+    Every batch method opens a tracing span (``session.measure`` /
+    ``session.estimate`` / ``session.what_if``) carrying the batch's
+    total *virtual* seconds next to its wall time, and ``measure`` /
+    ``estimate`` emit a ``measurement`` event with the per-query A/E/H
+    cost breakdown — the raw material of the run report.  All of it is
+    a no-op unless a recorder is installed (see :mod:`repro.obs`).
     """
 
     def __init__(self, database, jobs=None, timeout=None):
@@ -74,6 +99,8 @@ class MeasurementSession:
         return False
 
     def close(self):
+        """Shut down the worker pool (idempotent; the session object
+        stays usable and will lazily recreate the pool if reused)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
@@ -99,29 +126,60 @@ class MeasurementSession:
     # Measurement (actual costs, A)
 
     def measure(self, workload, timeout=None, configuration=None):
-        """Execute every query of ``workload``; a WorkloadMeasurement.
+        """Execute every query of ``workload`` (actual costs, ``A``).
 
         Deterministic and order-preserving: entry ``i`` always describes
         ``workload.queries[i]``, whatever the pool width.
+
+        Args:
+            workload: iterable of weighted queries (a ``Workload``).
+            timeout: per-query virtual timeout override in seconds.
+            configuration: label recorded on the measurement (defaults
+                to the database's current configuration name).
+
+        Returns:
+            A :class:`~repro.analysis.measurements.WorkloadMeasurement`
+            with per-query virtual seconds and timeout flags.
         """
         from ..analysis.measurements import WorkloadMeasurement
 
         timeout = self.timeout if timeout is None else timeout
         queries = list(workload)
+        config_name = configuration or self.database.configuration.name
 
         def run(query):
             return self.database.execute(query.sql, timeout=timeout)
 
-        with self.timings.stage("measure"):
+        with self.timings.stage("measure"), obs.span(
+            "session.measure",
+            workload=workload.name,
+            configuration=config_name,
+            queries=len(queries),
+        ) as span:
             results = self._map(run, queries)
+            elapsed = np.array([r.elapsed for r in results])
+            timed_out = np.array([r.timed_out for r in results])
+            span.set(
+                virtual_s=float(elapsed.sum()),
+                timeouts=int(timed_out.sum()),
+            )
         self._queries_measured += len(queries)
+        if obs.is_enabled():
+            obs.event(
+                "measurement",
+                workload=workload.name,
+                configuration=config_name,
+                kind="A",
+                queries=len(queries),
+                total_seconds=float(elapsed.sum()),
+                timed_out=int(timed_out.sum()),
+                per_query=[float(value) for value in elapsed],
+            )
         return WorkloadMeasurement(
             workload=workload.name,
-            configuration=(
-                configuration or self.database.configuration.name
-            ),
-            elapsed=np.array([r.elapsed for r in results]),
-            timed_out=np.array([r.timed_out for r in results]),
+            configuration=config_name,
+            elapsed=elapsed,
+            timed_out=timed_out,
             timeout=timeout,
             sqls=[q.sql for q in queries],
             weights=np.array([q.weight for q in queries]),
@@ -132,10 +190,30 @@ class MeasurementSession:
 
     def estimate(self, workload, configuration=None, hypothetical=None,
                  force_hypothetical=False, oracle=False):
-        """Per-query estimated (E) or hypothetical (H) workload costs."""
+        """Per-query estimated (``E``) or hypothetical (``H``) costs.
+
+        Args:
+            workload: iterable of weighted queries.
+            configuration: label recorded on the measurement.
+            hypothetical: when given, costs are what-if estimates
+                ``H(q, hypothetical, current)`` instead of ``E(q, C)``.
+            force_hypothetical: estimate under the degraded what-if
+                policy even for structures that are actually built.
+            oracle: use full-fidelity what-if statistics (the ablation
+                knob).
+
+        Returns:
+            A :class:`~repro.analysis.measurements.WorkloadMeasurement`
+            of estimated virtual seconds (never times out).
+        """
         from ..analysis.measurements import WorkloadMeasurement
 
         queries = list(workload)
+        kind = "E" if hypothetical is None else "H"
+        config_name = configuration or (
+            hypothetical.name if hypothetical is not None
+            else self.database.configuration.name
+        )
 
         def cost(query):
             if hypothetical is not None:
@@ -147,15 +225,30 @@ class MeasurementSession:
                 )
             return self.database.estimate(query.sql)
 
-        with self.timings.stage("estimate"):
+        with self.timings.stage("estimate"), obs.span(
+            "session.estimate",
+            workload=workload.name,
+            configuration=config_name,
+            kind=kind,
+            queries=len(queries),
+        ) as span:
             costs = self._map(cost, queries)
+            span.set(virtual_s=float(sum(costs)))
         self._queries_estimated += len(queries)
+        if obs.is_enabled():
+            obs.event(
+                "measurement",
+                workload=workload.name,
+                configuration=config_name,
+                kind=kind,
+                queries=len(queries),
+                total_seconds=float(sum(costs)),
+                timed_out=0,
+                per_query=[float(value) for value in costs],
+            )
         return WorkloadMeasurement(
             workload=workload.name,
-            configuration=configuration or (
-                hypothetical.name if hypothetical is not None
-                else self.database.configuration.name
-            ),
+            configuration=config_name,
             elapsed=np.array(costs, dtype=np.float64),
             timed_out=np.zeros(len(costs), dtype=bool),
             timeout=float("inf"),
@@ -178,8 +271,14 @@ class MeasurementSession:
                 sql, config, force_hypothetical=True, oracle=oracle
             )
 
-        with self.timings.stage("what_if"):
-            costs = self._map(cost, list(queries))
+        queries = list(queries)
+        with self.timings.stage("what_if"), obs.span(
+            "session.what_if",
+            configuration=config.name,
+            queries=len(queries),
+        ) as span:
+            costs = self._map(cost, queries)
+            span.set(virtual_s=float(sum(costs)))
         self._what_if_calls += len(costs)
         return costs
 
