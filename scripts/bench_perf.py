@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""Perf trajectory of the what-if cost service (``BENCH_whatif.json``).
+
+Times the recommendation runs the service was built to accelerate —
+System B on NREF3J and System C on SkTH3J — once with the cost service
+on (atomic memoization, incremental environments, candidate-parallel
+search, upper-bound pruning) and once with it off
+(``REPRO_WHATIF_CACHE=0`` semantics: the plain pre-service serial loop).
+Both runs use a fresh context and the same worker-pool width, so the
+deltas isolate the service.  The script fails unless the two modes
+recommend byte-identical configurations.
+
+The output file matches :data:`repro.obs.schemas.BENCH_WHATIF_SCHEMA`
+(prose version in ``docs/performance.md``) and is validated before it is
+written.  CI runs the smoke mode on every push and uploads the file as
+an artifact; the committed ``results/BENCH_whatif.json`` comes from a
+full run (see ``EXPERIMENTS.md`` for the regeneration command).
+
+Usage::
+
+    python scripts/bench_perf.py                 # full run (~minutes)
+    python scripts/bench_perf.py --smoke         # CI-sized run (~seconds)
+    python scripts/bench_perf.py -o out.json --jobs 4
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parents[1] / "src"))
+
+from repro import obs                                    # noqa: E402
+from repro.bench.context import (                        # noqa: E402
+    FAMILY_DATASET,
+    BenchContext,
+    BenchSettings,
+)
+from repro.recommender.whatif import WhatIfRecommender   # noqa: E402
+from repro.runtime.session import MeasurementSession     # noqa: E402
+
+TARGETS = (("B", "NREF3J"), ("C", "SkTH3J"))
+
+# Full-mode knobs reproduce the scale the figure benches run at; smoke
+# mode shrinks data and workload until the whole matrix (2 targets x 2
+# modes) fits in CI seconds while still exercising every code path.
+FULL = {"scale": 0.4, "workload_size": 100, "seed": 405, "jobs": 4}
+SMOKE = {"scale": 0.05, "workload_size": 10, "seed": 405, "jobs": 2}
+
+_COUNTER_KEYS = {
+    "what_if_calls": "optimizer.what_if_calls",
+    "plans_enumerated": "optimizer.plans_enumerated",
+    "env_builds": "optimizer.hypothetical_env_builds",
+    "env_delta_builds": "optimizer.env_delta_builds",
+    "candidates_pruned": "recommender.candidates_pruned",
+    "whatif_cache_hits": "recommender.whatif_cache.hits",
+    "whatif_cache_misses": "recommender.whatif_cache.misses",
+}
+
+
+def run_mode(system_name, family, settings, cached):
+    """One timed recommendation run; returns the mode's metrics block.
+
+    A fresh :class:`BenchContext` per call keeps plan caches, artifact
+    caches, and live databases from leaking between modes: every run
+    rebuilds its database and workload (untimed) and then times only
+    ``recommend``.
+    """
+    context = BenchContext(settings)
+    db = context.database(system_name, FAMILY_DATASET[family])
+    workload = context.workload(system_name, family)
+    budget = context.space_budget(db)
+    with obs.recording() as recorder:
+        with MeasurementSession(db, jobs=settings.jobs) as session:
+            recommender = WhatIfRecommender(
+                db, session=session, use_cache=cached
+            )
+            start = time.perf_counter()
+            report = recommender.recommend(
+                workload, budget, name=f"{family}_R"
+            )
+            wall = time.perf_counter() - start
+    counters = recorder.metrics.snapshot().get("counters", {})
+    mode = {"wall_seconds": round(wall, 4)}
+    for field, counter in _COUNTER_KEYS.items():
+        mode[field] = int(counters.get(counter, 0))
+    lookups = mode["whatif_cache_hits"] + mode["whatif_cache_misses"]
+    mode["whatif_cache_hit_rate"] = round(
+        mode["whatif_cache_hits"] / lookups if lookups else 0.0, 4
+    )
+    mode["fingerprint"] = report.configuration.fingerprint
+    return mode
+
+
+def run_target(system_name, family, settings):
+    """Cached + uncached runs of one target, with derived ratios."""
+    label = f"{system_name}/{family}"
+    print(f"[{label}] uncached run ...", flush=True)
+    uncached = run_mode(system_name, family, settings, cached=False)
+    print(
+        f"[{label}] uncached: {uncached['wall_seconds']:.2f}s, "
+        f"{uncached['plans_enumerated']} plans", flush=True,
+    )
+    print(f"[{label}] cached run ...", flush=True)
+    cached = run_mode(system_name, family, settings, cached=True)
+    print(
+        f"[{label}] cached:   {cached['wall_seconds']:.2f}s, "
+        f"{cached['plans_enumerated']} plans, "
+        f"hit rate {cached['whatif_cache_hit_rate']:.2f}", flush=True,
+    )
+    return {
+        "target": label,
+        "system": system_name,
+        "family": family,
+        "identical": cached["fingerprint"] == uncached["fingerprint"],
+        "speedup": round(
+            uncached["wall_seconds"] / max(cached["wall_seconds"], 1e-9), 3
+        ),
+        "plans_ratio": round(
+            uncached["plans_enumerated"]
+            / max(cached["plans_enumerated"], 1), 3
+        ),
+        "cached": cached,
+        "uncached": uncached,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python scripts/bench_perf.py",
+        description="Benchmark the what-if cost service "
+                    "(cached vs uncached recommendation runs).",
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (tiny scale and workload)")
+    parser.add_argument("-o", "--output", default=None, metavar="FILE",
+                        help="output path (default results/BENCH_whatif.json)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="override the mode's data scale factor")
+    parser.add_argument("--workload-size", type=int, default=None,
+                        help="override the mode's sampled workload size")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the sampling seed")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="override the worker-pool width (both modes)")
+    args = parser.parse_args(argv)
+
+    knobs = dict(SMOKE if args.smoke else FULL)
+    for name in ("scale", "workload_size", "seed", "jobs"):
+        value = getattr(args, name)
+        if value is not None:
+            knobs[name] = value
+    settings = BenchSettings(
+        scale=knobs["scale"],
+        workload_size=knobs["workload_size"],
+        seed=knobs["seed"],
+        jobs=knobs["jobs"],
+    )
+
+    mode = "smoke" if args.smoke else "full"
+    run_id = (
+        f"whatif-{mode}-s{knobs['scale']}-w{knobs['workload_size']}"
+        f"-seed{knobs['seed']}-j{knobs['jobs']}"
+    )
+    print(f"run {run_id}", flush=True)
+    document = {
+        "schema": "repro.bench_whatif/v1",
+        "run": {
+            "id": run_id,
+            "smoke": bool(args.smoke),
+            "scale": knobs["scale"],
+            "workload_size": knobs["workload_size"],
+            "seed": knobs["seed"],
+            "jobs": knobs["jobs"],
+        },
+        "targets": [
+            run_target(system_name, family, settings)
+            for system_name, family in TARGETS
+        ],
+    }
+    obs.validate_bench_whatif(document)
+
+    output = pathlib.Path(
+        args.output
+        or pathlib.Path(__file__).parents[1] / "results" / "BENCH_whatif.json"
+    )
+    output.parent.mkdir(parents=True, exist_ok=True)
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {output}")
+
+    failed = False
+    for target in document["targets"]:
+        status = "identical" if target["identical"] else "MISMATCH"
+        print(
+            f"{target['target']}: speedup x{target['speedup']}, "
+            f"plans x{target['plans_ratio']} fewer, {status}"
+        )
+        failed = failed or not target["identical"]
+    if failed:
+        print("FAILED: cached and uncached recommendations differ",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,14 +21,25 @@ runtime layer (:mod:`repro.runtime`):
   physical state plan once;
 * an **environment cache** keyed by configuration fingerprint — so a
   recommender probing one candidate configuration against many queries
-  derives the what-if metadata once.
+  derives the what-if metadata once;
+* a **what-if cache** serving the recommenders' cost service
+  (:mod:`repro.recommender.costservice`): atomic ``H(q, ·)`` costs keyed
+  by the fingerprint of the *relevant subset* of hypothetical
+  structures, plus memoized what-if configuration sizes.
 
-Both are explicitly invalidated by every state transition that can
+All three are explicitly invalidated by every state transition that can
 change a plan or a cost: :meth:`Database.apply_configuration`,
 :meth:`Database.insert_rows`, :meth:`Database.collect_statistics`, and
 :meth:`Database.load_table`.  Parse+bind results are memoized separately
 (they depend only on the catalog) so front-end work survives those
 invalidations.
+
+What-if environments additionally support an *incremental* build: when
+a trial configuration extends a configuration whose environment is
+already cached (the greedy recommenders probe ``current + one
+candidate`` hundreds of times per round), the new environment is
+derived from the cached one plus the delta structures instead of being
+rebuilt from scratch (see :meth:`Database.hypothetical_env`).
 """
 
 from dataclasses import dataclass, field
@@ -51,7 +62,12 @@ from ..sql.parser import parse
 from ..stats.table_stats import StatisticsCatalog, TableStats
 from ..storage.table import Table
 from ..views.matview import build_view
-from .configuration import Configuration, primary_configuration
+from .configuration import (
+    Configuration,
+    index_content_key,
+    primary_configuration,
+    view_content_key,
+)
 
 DEFAULT_TIMEOUT = 1800.0
 
@@ -102,6 +118,7 @@ class Database:
 
     PLAN_CACHE_SIZE = 8192
     ENV_CACHE_SIZE = 128
+    WHATIF_CACHE_SIZE = 65536
 
     def __init__(self, catalog, system, name="db"):
         self.catalog = catalog
@@ -118,6 +135,9 @@ class Database:
     def _init_runtime_caches(self):
         self._plan_cache = BoundedCache("plan_cache", self.PLAN_CACHE_SIZE)
         self._env_cache = BoundedCache("env_cache", self.ENV_CACHE_SIZE)
+        self._whatif_cache = BoundedCache(
+            "whatif_cache", self.WHATIF_CACHE_SIZE
+        )
         self._bind_stats = CacheStats("bind_cache")
         self._current_fingerprint = None
 
@@ -127,8 +147,9 @@ class Database:
 
     def __getstate__(self):
         state = self.__dict__.copy()
-        for transient in ("_plan_cache", "_env_cache", "_bind_stats",
-                          "_current_fingerprint", "_bound_cache"):
+        for transient in ("_plan_cache", "_env_cache", "_whatif_cache",
+                          "_bind_stats", "_current_fingerprint",
+                          "_bound_cache"):
             state.pop(transient, None)
         return state
 
@@ -150,13 +171,25 @@ class Database:
         """
         self._plan_cache.invalidate()
         self._env_cache.invalidate()
+        self._whatif_cache.invalidate()
         self._current_fingerprint = None
 
+    @property
+    def whatif_cache(self):
+        """The what-if cost-service cache (atomic H costs and sizes).
+
+        Owned by the database so its entries are dropped by the same
+        :meth:`invalidate_caches` path as every other derived result.
+        """
+        return self._whatif_cache
+
     def cache_stats(self):
-        """Hit/miss snapshots of the plan, environment and bind caches."""
+        """Hit/miss snapshots of the plan, environment, what-if and bind
+        caches."""
         return {
             "plan_cache": self._plan_cache.stats.snapshot(),
             "env_cache": self._env_cache.stats.snapshot(),
+            "whatif_cache": self._whatif_cache.stats.snapshot(),
             "bind_cache": self._bind_stats.snapshot(),
         }
 
@@ -309,7 +342,16 @@ class Database:
         """Size of a configuration *without building it* (what-if sizing).
 
         This is what the recommender's space-budget arithmetic uses.
+        Memoized per configuration fingerprint in the what-if cache (the
+        greedy recommenders re-size every surviving trial configuration
+        each round); invalidated with every other derived result.
         """
+        key = ("bytes", config.fingerprint)
+        return self._whatif_cache.get_or_build(
+            key, lambda: self._estimated_configuration_bytes(config)
+        )
+
+    def _estimated_configuration_bytes(self, config):
         index_bytes = 0
         for ix in config.indexes:
             if ix.table in config.view_names():
@@ -389,7 +431,7 @@ class Database:
         )
 
     def hypothetical_env(self, config, force_hypothetical=False,
-                         oracle=False):
+                         oracle=False, base=None):
         """What-if environment for a configuration that is *not* built.
 
         Memoized per ``(config fingerprint, flags)``: a recommender
@@ -398,6 +440,19 @@ class Database:
         read-only after construction (the planner never mutates it), so
         sharing it across queries — and session worker threads — is
         safe.
+
+        Args:
+            config: the hypothetical :class:`Configuration`.
+            force_hypothetical: estimate under the degraded what-if
+                policy even for built structures.
+            oracle: full-fidelity what-if statistics (ablation knob).
+            base: optional configuration that ``config`` extends.  When
+                the base's environment is resident in the cache, the new
+                environment is derived incrementally from it — only the
+                delta structures get their geometry computed — instead
+                of being rebuilt from scratch.  Purely an optimization:
+                the incremental environment is equivalent to a full
+                build.
         """
         key = (
             "hypo",
@@ -406,11 +461,128 @@ class Database:
             bool(force_hypothetical),
             bool(oracle),
         )
-        return self._env_cache.get_or_build(
-            key,
-            lambda: self._build_hypothetical_env(
+
+        def build():
+            if base is not None:
+                env = self._extend_hypothetical_env(
+                    base, config, force_hypothetical, oracle
+                )
+                if env is not None:
+                    return env
+            return self._build_hypothetical_env(
                 config, force_hypothetical, oracle
-            ),
+            )
+
+        return self._env_cache.get_or_build(key, build)
+
+    def _extend_hypothetical_env(self, base, config, force_hypothetical,
+                                 oracle):
+        """Derive the env of ``config`` from the cached env of ``base``.
+
+        Returns ``None`` when the incremental path does not apply — the
+        base environment is not resident, ``config`` is not a pure
+        extension of ``base``, a delta view is actually built (its
+        statistics would have to enter the estimator), or
+        ``force_hypothetical`` is off (an extension could then flip the
+        whole environment from the full-fidelity to the degraded
+        estimator policy, which only a full build tracks).
+
+        Shared :class:`IndexInfo`/:class:`ViewInfo` objects from the
+        base environment are reused as-is — they are read-only — and
+        anything the delta must touch (a view gaining an index) is
+        copied first, so the base environment is never mutated.
+        """
+        if not force_hypothetical:
+            return None
+        base_key = (
+            "hypo",
+            self.configuration_fingerprint,
+            base.fingerprint,
+            True,
+            bool(oracle),
+        )
+        base_env = self._env_cache.peek(base_key)
+        if base_env is None:
+            return None
+        base_ix = {index_content_key(ix) for ix in base.indexes}
+        base_mv = {view_content_key(v) for v in base.views}
+        trial_ix = [(index_content_key(ix), ix) for ix in config.indexes]
+        trial_mv = [(view_content_key(v), v) for v in config.views]
+        if not (base_ix <= {k for k, _ in trial_ix}
+                and base_mv <= {k for k, _ in trial_mv}):
+            return None
+        delta_views = [v for k, v in trial_mv if k not in base_mv]
+        delta_indexes = [ix for k, ix in trial_ix if k not in base_ix]
+        built_views = set(
+            self._built.view_tables
+        ) if self._built is not None else set()
+        if any(v.name in built_views for v in delta_views):
+            return None
+
+        obs.counter_add("optimizer.env_delta_builds")
+        view_infos = {v.definition.name: v for v in base_env.views}
+        shared_views = set(view_infos)
+        for view_def in delta_views:
+            rows, width = self._hypothetical_view_size(view_def)
+            view_infos[view_def.name] = ViewInfo(
+                definition=view_def,
+                rows=int(rows),
+                page_count=cm.bytes_to_pages(rows * width),
+                row_width=width,
+                hypothetical=True,
+            )
+
+        indexes = {t: list(infos) for t, infos in base_env.indexes.items()}
+        built_by_name = {}
+        if self._built is not None:
+            built_by_name = dict(self._built.index_data)
+        view_names = set(view_infos)
+        for ix in delta_indexes:
+            on_view = ix.table in view_names
+            if ix.name in built_by_name and not on_view:
+                info = IndexInfo.from_data(built_by_name[ix.name])
+            else:
+                if on_view:
+                    rows = view_infos[ix.table].rows
+                    _, key_width = self._hypothetical_view_geometry(
+                        config, ix.table, ix.columns
+                    )
+                else:
+                    stats = self.statistics.table(ix.table)
+                    rows = stats.row_count
+                    schema = self.catalog.table(ix.table)
+                    key_width = sum(
+                        schema.column(c).width for c in ix.columns
+                    )
+                info = IndexInfo.hypothetical_on(
+                    ix, rows, key_width, self.system.index_overhead
+                )
+                obs.counter_add("optimizer.hypothetical_index_probes")
+                if oracle and not on_view:
+                    info.cluster_factor = 0.25
+            if on_view:
+                vinfo = view_infos[ix.table]
+                if ix.table in shared_views:
+                    vinfo = ViewInfo(
+                        definition=vinfo.definition,
+                        rows=vinfo.rows,
+                        page_count=vinfo.page_count,
+                        row_width=vinfo.row_width,
+                        indexes=list(vinfo.indexes),
+                        hypothetical=vinfo.hypothetical,
+                        data=vinfo.data,
+                    )
+                    view_infos[ix.table] = vinfo
+                    shared_views.discard(ix.table)
+                vinfo.indexes.append(info)
+            else:
+                indexes.setdefault(ix.table, []).append(info)
+        return PlannerEnv(
+            catalog=self.catalog,
+            estimator=base_env.estimator,
+            hardware=base_env.hardware,
+            indexes=indexes,
+            views=list(view_infos.values()),
         )
 
     def _build_hypothetical_env(self, config, force_hypothetical, oracle):
@@ -525,12 +697,14 @@ class Database:
         return self.plan(sql).est.cost
 
     def estimate_hypothetical(self, sql, config, force_hypothetical=False,
-                              oracle=False):
+                              oracle=False, base=None):
         """Hypothetical cost ``H(q, config, current)`` (memoized).
 
         Keyed by ``(sql, current fingerprint, candidate fingerprint,
         flags)``, so a greedy recommender re-probing the same candidate
-        across iterations pays for one optimizer call.
+        across iterations pays for one optimizer call.  ``base`` is
+        forwarded to :meth:`hypothetical_env` to enable the incremental
+        environment build when ``config`` extends it.
         """
         obs.counter_add("optimizer.what_if_calls")
         bound = self.bind(sql)
@@ -545,7 +719,9 @@ class Database:
 
         def build():
             obs.counter_add("optimizer.what_if_plan_builds")
-            env = self.hypothetical_env(config, force_hypothetical, oracle)
+            env = self.hypothetical_env(
+                config, force_hypothetical, oracle, base=base
+            )
             return Planner(env).plan(bound).est.cost
 
         return self._plan_cache.get_or_build(key, build)

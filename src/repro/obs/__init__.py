@@ -47,16 +47,19 @@ from .report import (
     write_report,
 )
 from .schemas import (
+    BENCH_WHATIF_SCHEMA,
     EVENT_RECORD_SCHEMA,
     RUN_REPORT_SCHEMA,
     SPAN_RECORD_SCHEMA,
     SchemaError,
+    validate_bench_whatif,
     validate_run_report,
     validate_trace_record,
 )
 from .spans import Span
 
 __all__ = [
+    "BENCH_WHATIF_SCHEMA",
     "EVENT_RECORD_SCHEMA",
     "MetricsRegistry",
     "NullRecorder",
@@ -78,6 +81,7 @@ __all__ = [
     "render_metrics",
     "render_text",
     "span",
+    "validate_bench_whatif",
     "validate_run_report",
     "validate_trace_record",
     "write_report",

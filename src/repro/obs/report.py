@@ -144,11 +144,15 @@ def render_text(report):
         plan = caches["plan_cache"]
         bind = caches["bind_cache"]
         lookups = plan["hits"] + plan["misses"]
-        lines.append(
+        line = (
             f"db {label}: plan cache {plan['hits']}/{lookups} hits "
             f"(rate {plan['hit_rate']:.2f}), "
             f"bind cache rate {bind['hit_rate']:.2f}"
         )
+        whatif = caches.get("whatif_cache")
+        if whatif and whatif["hits"] + whatif["misses"]:
+            line += f", what-if cache rate {whatif['hit_rate']:.2f}"
+        lines.append(line)
     return "\n".join(lines)
 
 

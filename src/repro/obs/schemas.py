@@ -224,3 +224,76 @@ RUN_REPORT_SCHEMA = {
 def validate_run_report(report, path="$"):
     """Validate a decoded run report against :data:`RUN_REPORT_SCHEMA`."""
     return validate_instance(report, RUN_REPORT_SCHEMA, path)
+
+
+# ----------------------------------------------------------------------
+# What-if perf benchmark (BENCH_whatif.json, written by
+# scripts/bench_perf.py; prose version in docs/performance.md).
+
+_WHATIF_MODE_SCHEMA = {
+    "type": "object",
+    "required": ["wall_seconds", "what_if_calls", "plans_enumerated",
+                 "whatif_cache_hits", "whatif_cache_misses",
+                 "whatif_cache_hit_rate"],
+    "properties": {
+        "wall_seconds": {"type": "number", "minimum": 0},
+        "what_if_calls": {"type": "integer", "minimum": 0},
+        "plans_enumerated": {"type": "integer", "minimum": 0},
+        "env_builds": {"type": "integer", "minimum": 0},
+        "env_delta_builds": {"type": "integer", "minimum": 0},
+        "candidates_pruned": {"type": "integer", "minimum": 0},
+        "whatif_cache_hits": {"type": "integer", "minimum": 0},
+        "whatif_cache_misses": {"type": "integer", "minimum": 0},
+        "whatif_cache_hit_rate": {"type": "number", "minimum": 0},
+        "fingerprint": {"type": ["string", "null"]},
+    },
+    "additionalProperties": False,
+}
+
+BENCH_WHATIF_SCHEMA = {
+    "type": "object",
+    "required": ["schema", "run", "targets"],
+    "properties": {
+        "schema": {"enum": ["repro.bench_whatif/v1"]},
+        "run": {
+            "type": "object",
+            "required": ["id", "smoke", "scale", "workload_size", "seed",
+                         "jobs"],
+            "properties": {
+                "id": {"type": "string"},
+                "smoke": {"type": "boolean"},
+                "scale": {"type": "number"},
+                "workload_size": {"type": "integer", "minimum": 1},
+                "seed": {"type": "integer"},
+                "jobs": {"type": "integer", "minimum": 1},
+            },
+            "additionalProperties": False,
+        },
+        "targets": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["target", "system", "family", "identical",
+                             "speedup", "plans_ratio", "cached",
+                             "uncached"],
+                "properties": {
+                    "target": {"type": "string"},
+                    "system": {"type": "string"},
+                    "family": {"type": "string"},
+                    "identical": {"type": "boolean"},
+                    "speedup": {"type": "number", "minimum": 0},
+                    "plans_ratio": {"type": "number", "minimum": 0},
+                    "cached": _WHATIF_MODE_SCHEMA,
+                    "uncached": _WHATIF_MODE_SCHEMA,
+                },
+                "additionalProperties": False,
+            },
+        },
+    },
+    "additionalProperties": False,
+}
+
+
+def validate_bench_whatif(document, path="$"):
+    """Validate a decoded ``BENCH_whatif.json`` document."""
+    return validate_instance(document, BENCH_WHATIF_SCHEMA, path)

@@ -17,6 +17,7 @@ import sys
 
 from .schemas import (
     SchemaError,
+    validate_bench_whatif,
     validate_run_report,
     validate_trace_record,
 )
@@ -76,6 +77,27 @@ def validate_report_file(path):
     return report
 
 
+def validate_bench_file(path):
+    """Validate a ``BENCH_whatif.json`` perf-trajectory file.
+
+    Args:
+        path: benchmark file written by ``scripts/bench_perf.py``.
+
+    Returns:
+        The decoded (and valid) benchmark dict.
+
+    Raises:
+        SchemaError: when the document violates the benchmark schema.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as err:
+            raise SchemaError(f"{path}: not valid JSON ({err})") from None
+    validate_bench_whatif(document, path=path)
+    return document
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.validate",
@@ -85,9 +107,13 @@ def main(argv=None):
                         help="JSONL trace file to validate")
     parser.add_argument("--report", default=None, metavar="FILE",
                         help="run report JSON file to validate")
+    parser.add_argument("--bench-whatif", default=None, metavar="FILE",
+                        help="BENCH_whatif.json perf benchmark to validate")
     args = parser.parse_args(argv)
-    if args.trace is None and args.report is None:
-        parser.error("nothing to validate: pass --trace and/or --report")
+    if args.trace is None and args.report is None \
+            and args.bench_whatif is None:
+        parser.error("nothing to validate: pass --trace, --report "
+                     "and/or --bench-whatif")
     try:
         if args.trace is not None:
             spans, events = validate_trace_file(args.trace)
@@ -98,6 +124,10 @@ def main(argv=None):
             print(f"report OK: {len(report['measurements'])} measurements, "
                   f"{len(report['fingerprints'])} fingerprints "
                   f"({args.report})")
+        if args.bench_whatif is not None:
+            document = validate_bench_file(args.bench_whatif)
+            print(f"bench OK: {len(document['targets'])} targets "
+                  f"({args.bench_whatif})")
     except (SchemaError, OSError) as err:
         print(f"validation FAILED: {err}", file=sys.stderr)
         return 1

@@ -1,0 +1,291 @@
+"""The what-if cost service: memoized ``H`` costs for the recommenders.
+
+The paper's central diagnostic (Section 5) is that recommender quality
+is bounded by the optimizer's hypothetical estimates ``H(q, Ch, Ca)`` —
+and in this reproduction those what-if calls are also the dominant
+runtime cost: every greedy round re-prices every surviving candidate
+against its relevant queries.  The database's plan cache keys ``H`` by
+the *full* trial-configuration fingerprint, which changes every round
+(the current configuration grows), so cross-round repeats always miss.
+
+This service sits between the recommenders and
+:meth:`~repro.engine.database.Database.estimate_hypothetical` and adds
+**atomic-configuration memoization**: the cost of a query is keyed by
+the fingerprint of the *relevant subset* of the trial configuration's
+structures — exactly the indexes and views the planner could put into a
+plan for that query.  The usability rules are read off the planner
+(:class:`QueryProfile`): an index participates only via an
+equality-prefix scan, a semijoin source/probe, an index-nested-loop
+inner, or a covering index-only scan, and views only rewrite
+COUNT-shaped aggregates (plus semijoin-source pre-aggregations) — so
+two trial configurations that agree on a query's relevant subset yield
+the same cost, however much they differ elsewhere.  Concretely: once candidate
+``X`` has been priced against query ``q`` in round 1, selecting an
+unrelated structure ``Y`` does not force ``q`` to be re-planned against
+``current + Y + X`` in round 2 — the round-1 cost is reused.
+
+The memo lives in the owning database's
+:attr:`~repro.engine.database.Database.whatif_cache`, so it is dropped
+by the same ``invalidate_caches`` path as every plan: applying a
+configuration, inserting rows, collecting statistics, or (re)loading a
+table all clear it.
+
+The whole service is an optimization layer: with ``REPRO_WHATIF_CACHE=0``
+the recommenders fall back to the plain serial path, and the recommended
+configurations are byte-identical either way (CI enforces this).
+"""
+
+import os
+
+from .. import obs
+from ..engine.configuration import (
+    content_fingerprint,
+    index_content_key,
+    view_content_key,
+)
+
+CACHE_ENV = "REPRO_WHATIF_CACHE"
+
+
+def service_enabled(flag=None):
+    """Whether the cost service is on: argument, else ``REPRO_WHATIF_CACHE``.
+
+    Any value other than ``"0"``, ``"false"``, ``"no"`` or ``"off"``
+    (case-insensitive) enables it; the default — no environment variable
+    at all — is enabled.
+    """
+    if flag is not None:
+        return bool(flag)
+    value = os.environ.get(CACHE_ENV, "1").strip().lower()
+    return value not in ("0", "false", "no", "off")
+
+
+def query_tables(bound):
+    """The set of base tables a bound query touches (incl. semijoins)."""
+    tables = set(bound.relations.values())
+    for semi in bound.semijoins:
+        tables.add(semi.sub_table)
+    return tables
+
+
+class QueryProfile:
+    """Pre-extracted facts the planner's structure-usage rules consult.
+
+    Mirrors :mod:`repro.optimizer.planner` exactly: an index can enter a
+    plan only as an equality-prefix scan, a semijoin source or probe, an
+    index-nested-loop inner, or a covering index-only scan; views rewrite
+    only COUNT-shaped aggregates, except single-column pre-aggregations
+    serving a semijoin source.  Everything those rules look at — equality
+    filter columns, join columns, semijoin columns, and each alias's
+    touched-column set — is captured here once per query so
+    :func:`relevant_fingerprint` can test candidate structures cheaply.
+    """
+
+    __slots__ = ("tables", "first_cols", "touched", "count_only",
+                 "semi_views")
+
+    def __init__(self, bound, catalog):
+        self.tables = query_tables(bound)
+        # Columns that make an index on the table usable when they LEAD
+        # the index key: equality filters (prefix scans), semijoin target
+        # columns (semi-driven probes), join columns (INL inners), and
+        # semijoin subquery columns (index-only semi sources).
+        self.first_cols = {t: set() for t in self.tables}
+        # Per alias: every column the scan touches; an index covering one
+        # of these sets is usable as an index-only scan.
+        self.touched = {}
+        for semi in bound.semijoins:
+            self.first_cols[semi.sub_table].add(semi.sub_column)
+        for pred in bound.join_preds:
+            for ref in (pred.left, pred.right):
+                self.first_cols[bound.relations[ref.alias]].add(ref.column)
+        for alias, table in bound.relations.items():
+            first = self.first_cols[table]
+            filters = [f for f in bound.filters if f.target.alias == alias]
+            semis = [s for s in bound.semijoins if s.target.alias == alias]
+            for flt in filters:
+                if flt.op == "=":
+                    first.add(flt.target.column)
+            for semi in semis:
+                first.add(semi.target.column)
+            needed = bound.columns_of(alias)
+            if not needed:
+                # The planner's COUNT(*)-only fallback: it scans the
+                # narrowest column, so that is what covering must cover.
+                columns = catalog.table(table).columns
+                needed = [min(columns, key=lambda c: c.width).name]
+            touched = set(needed)
+            touched.update(f.target.column for f in filters)
+            touched.update(s.target.column for s in semis)
+            self.touched.setdefault(table, []).append(frozenset(touched))
+        self.count_only = all(a.func == "count" for a in bound.aggregates)
+        self.semi_views = {
+            (s.sub_table, s.sub_column) for s in bound.semijoins
+        }
+
+    def index_usable(self, definition):
+        """Whether the planner could put this index into any plan."""
+        first = self.first_cols.get(definition.table)
+        if first is None:
+            return False        # a table (or view) the query never reads
+        columns = definition.columns
+        if columns[0] in first:
+            return True
+        covered = set(columns)
+        return any(
+            touched <= covered
+            for touched in self.touched.get(definition.table, ())
+        )
+
+    def view_relevant(self, view):
+        """Whether the planner could rewrite part of the query with it."""
+        if self.count_only:
+            # View rewrites are on the table: conservative table-overlap.
+            return any(t in self.tables for t in view.tables)
+        # Non-COUNT aggregates rule out every rewrite except the
+        # semijoin-source scan of a single-column pre-aggregation.
+        if view.is_join_view or len(view.group_columns) != 1:
+            return False
+        gcol = view.group_columns[0]
+        return (view.tables[0], gcol.column) in self.semi_views
+
+
+def query_profile(bound, catalog):
+    """The :class:`QueryProfile` of a bound query."""
+    return QueryProfile(bound, catalog)
+
+
+def relevant_fingerprint(bound, config, catalog=None, profile=None):
+    """Fingerprint of the structures of ``config`` that can affect ``bound``.
+
+    Keys the atomic memo by exactly the structures the planner could use
+    for this query (see :class:`QueryProfile`); indexes *on views* are
+    excluded entirely because the planner never consults them.  The
+    fingerprint is order-insensitive, mirroring
+    :meth:`~repro.engine.configuration.Configuration.fingerprint`.
+    """
+    if profile is None:
+        profile = QueryProfile(bound, catalog)
+    view_keys = [
+        view_content_key(view)
+        for view in config.views
+        if profile.view_relevant(view)
+    ]
+    index_keys = [
+        index_content_key(ix)
+        for ix in config.indexes
+        if profile.index_usable(ix)
+    ]
+    return content_fingerprint(
+        tuple(sorted(index_keys)),
+        tuple(sorted(repr(key) for key in view_keys)),
+    )
+
+
+class WhatIfCostService:
+    """Memoized what-if costing over one database.
+
+    Args:
+        database: the :class:`~repro.engine.database.Database` whose
+            optimizer answers the what-if calls (and whose
+            ``whatif_cache`` stores the atomic memo).
+        session: optional :class:`~repro.runtime.session.MeasurementSession`
+            whose worker pool serves ``parallel=True`` batches.
+
+    Thread-safe: the recommenders evaluate whole candidate batches on
+    session worker threads, each calling :meth:`costs` concurrently; the
+    memo is a locked :class:`~repro.runtime.cache.BoundedCache` and the
+    database's own planning path is already shareable.
+    """
+
+    def __init__(self, database, session=None):
+        self._db = database
+        self._session = session
+        # Query profiles depend only on the bound query and the catalog,
+        # so one per SQL text serves every round of a recommender run.
+        self._profiles = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _profile(self, bound):
+        profile = self._profiles.get(bound.sql)
+        if profile is None:
+            profile = QueryProfile(bound, self._db.catalog)
+            self._profiles[bound.sql] = profile
+        return profile
+
+    def costs(self, queries, config, base=None, oracle=False,
+              parallel=False):
+        """Atomic-memoized ``H`` costs of ``queries`` under ``config``.
+
+        Every cost is taken with ``force_hypothetical=True`` — the
+        recommenders' comparable-fidelity mode, and the mode in which
+        the relevant-subset key is sound (the estimator policy is then
+        pinned by the flag, not by which structures happen to exist).
+
+        Args:
+            queries: bound queries (or SQL strings).
+            config: the trial configuration.
+            base: configuration ``config`` extends, if any; forwarded to
+                the database so a cache miss can build its what-if
+                environment incrementally from the base's.
+            oracle: full-fidelity what-if statistics (ablation knob).
+            parallel: fan the per-query misses out over the session's
+                worker pool.  Only safe from the main thread (never from
+                inside a worker — the pool is not reentrant); candidate
+                batches parallelize at candidate granularity instead.
+
+        Returns:
+            A list of costs, index-aligned with ``queries``.
+        """
+        bound = [self._db.bind(q) for q in queries]
+        current_fp = self._db.configuration_fingerprint
+        keys = [
+            ("H", b.sql, current_fp,
+             relevant_fingerprint(b, config, profile=self._profile(b)),
+             bool(oracle))
+            for b in bound
+        ]
+        cache = self._db.whatif_cache
+        with obs.span(
+            "service.what_if", configuration=config.name, queries=len(bound)
+        ) as span:
+            missing = object()
+            costs = [cache.get(key, missing) for key in keys]
+            todo = [i for i, c in enumerate(costs) if c is missing]
+            self.hits += len(bound) - len(todo)
+            self.misses += len(todo)
+            if len(bound) > len(todo):
+                obs.counter_add(
+                    "recommender.whatif_cache.hits", len(bound) - len(todo)
+                )
+            if todo:
+                obs.counter_add("recommender.whatif_cache.misses", len(todo))
+
+                def compute(index):
+                    return self._db.estimate_hypothetical(
+                        bound[index],
+                        config,
+                        force_hypothetical=True,
+                        oracle=oracle,
+                        base=base,
+                    )
+
+                if parallel and self._session is not None:
+                    computed = self._session.map_batch(compute, todo)
+                else:
+                    computed = [compute(index) for index in todo]
+                for index, cost in zip(todo, computed):
+                    costs[index] = cost
+                    cache.put(keys[index], cost)
+            span.set(virtual_s=float(sum(costs)))
+        return costs
+
+    def stats(self):
+        """Local hit/miss counters of this service instance."""
+        lookups = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+        }

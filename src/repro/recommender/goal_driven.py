@@ -86,9 +86,7 @@ class GoalDrivenRecommender(WhatIfRecommender):
 
         current = base_config
         current_costs = np.array(
-            self._session.what_if_costs(
-                queries, base_config, oracle=self.oracle
-            )
+            self._what_if_batch(queries, base_config, parallel=True)
         )
         used = 0
         selected = []
@@ -109,8 +107,9 @@ class GoalDrivenRecommender(WhatIfRecommender):
         while margin <= 0 and len(selected) < self.profile.max_selected:
             iterations += 1
             best = None
+            selected_keys = {key for key, _ in selected}
             for key, candidate in candidates.items():
-                if key in {k for k, _ in selected}:
+                if key in selected_keys:
                     continue
                 trial = self._extend(current, candidate)
                 extra = (
@@ -123,11 +122,13 @@ class GoalDrivenRecommender(WhatIfRecommender):
                     idx for idx, query in enumerate(queries)
                     if self._relevant(candidate, query)
                 ]
+                # Goal margins are not additive over queries, so the
+                # what-if upper-bound pruning of the total-cost advisor
+                # does not apply — but the cost service's atomic memo
+                # and incremental environments do.
                 trial_costs = current_costs.copy()
-                trial_costs[relevant] = self._session.what_if_costs(
-                    [queries[idx] for idx in relevant],
-                    trial,
-                    oracle=self.oracle,
+                trial_costs[relevant] = self._what_if_batch(
+                    [queries[idx] for idx in relevant], trial, base=current
                 )
                 trial_margin = margin_of(trial_costs)
                 gain = trial_margin - margin

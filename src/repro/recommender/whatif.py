@@ -8,6 +8,17 @@ optimizer calls (``H`` costs), because none of the candidate structures
 exist yet — until the space budget is exhausted or no candidate clears the
 profile's minimum-improvement threshold.
 
+The candidate search runs on top of the **what-if cost service**
+(:mod:`repro.recommender.costservice`): per-query ``H`` costs are
+memoized by the relevant subset of the trial configuration, candidate
+trials extend the current configuration's what-if environment
+incrementally, whole candidate evaluations fan out over the measurement
+session's worker pool with a deterministic reduction, and candidates
+whose best-possible gain cannot reach the round's improvement threshold
+are pruned without any optimizer call.  All of it is an optimization
+layer: ``REPRO_WHATIF_CACHE=0`` falls back to the plain serial loop and
+the recommended configuration is byte-identical either way.
+
 Reproduced failure modes:
 
 * the candidate pool exceeding ``profile.max_candidates`` makes the
@@ -30,6 +41,7 @@ from ..engine.configuration import Configuration
 from ..index.definition import IndexDefinition
 from ..runtime.session import MeasurementSession
 from .candidates import index_candidates, view_candidates
+from .costservice import WhatIfCostService, service_enabled
 
 
 @dataclass
@@ -55,7 +67,8 @@ class RecommendationReport:
 class WhatIfRecommender:
     """Greedy budgeted index/view advisor over what-if optimizer calls."""
 
-    def __init__(self, database, profile=None, oracle=False, session=None):
+    def __init__(self, database, profile=None, oracle=False, session=None,
+                 use_cache=None):
         self._db = database
         self.profile = profile or database.system.recommender
         self.oracle = oracle
@@ -63,6 +76,16 @@ class WhatIfRecommender:
         # fingerprint-keyed plan cache; the session adds the worker pool
         # (REPRO_JOBS) that candidate evaluations fan out over.
         self._session = session or MeasurementSession(database)
+        # The what-if cost service adds atomic-configuration
+        # memoization, incremental environments, candidate-level
+        # parallelism, and upper-bound pruning.  ``use_cache=None``
+        # consults REPRO_WHATIF_CACHE (default on); disabling it falls
+        # back to the plain serial per-candidate loop, which produces
+        # byte-identical recommendations.
+        self._service = (
+            WhatIfCostService(database, self._session)
+            if service_enabled(use_cache) else None
+        )
 
     def recommend(self, workload, budget_bytes, name=None):
         """Recommend a configuration for ``workload`` under a byte budget.
@@ -110,8 +133,8 @@ class WhatIfRecommender:
             )
 
         base_bytes = self._db.estimated_configuration_bytes(base_config)
-        raw_base = self._session.what_if_costs(
-            queries, base_config, oracle=self.oracle
+        raw_base = self._what_if_batch(
+            queries, base_config, parallel=True
         )
         base_costs = [c * w for c, w in zip(raw_base, weights)]
         total = sum(base_costs)
@@ -123,42 +146,14 @@ class WhatIfRecommender:
         iterations = 0
         while len(selected) < profile.max_selected:
             iterations += 1
-            best = None
             threshold = profile.min_improvement * max(
                 sum(current_costs), 1e-9
             )
-            for key, candidate in candidates.items():
-                if key in {k for k, _ in selected}:
-                    continue
-                trial = self._extend(current, candidate)
-                extra = (
-                    self._db.estimated_configuration_bytes(trial)
-                    - base_bytes - used
-                )
-                if used + max(0, extra) > budget_bytes:
-                    continue
-                relevant = [
-                    idx for idx, query in enumerate(queries)
-                    if self._relevant(candidate, query)
-                ]
-                raw = self._session.what_if_costs(
-                    [queries[idx] for idx in relevant],
-                    trial,
-                    oracle=self.oracle,
-                )
-                gain = 0.0
-                trial_costs = {}
-                for idx, cost in zip(relevant, raw):
-                    cost *= weights[idx]
-                    trial_costs[idx] = cost
-                    gain += current_costs[idx] - cost
-                if gain < threshold:
-                    # Not worth its maintenance/storage footprint: the
-                    # candidate is ineligible this round.
-                    continue
-                score = gain / max(1, extra)
-                if best is None or score > best[0]:
-                    best = (score, key, candidate, extra, gain, trial_costs)
+            selected_keys = {key for key, _ in selected}
+            best = self._best_candidate(
+                candidates, selected_keys, queries, weights, current,
+                current_costs, base_bytes, used, budget_bytes, threshold,
+            )
             if best is None:
                 break
             _, key, candidate, extra, gain, trial_costs = best
@@ -188,6 +183,98 @@ class WhatIfRecommender:
             iterations=iterations,
             candidate_count=len(candidates),
             selected=[c for _, c in selected],
+        )
+
+    # ------------------------------------------------------------------
+    # One greedy round
+
+    def _best_candidate(self, candidates, selected_keys, queries, weights,
+                        current, current_costs, base_bytes, used,
+                        budget_bytes, threshold):
+        """The round's best ``(score, key, candidate, extra, gain, costs)``.
+
+        Phase 1 (serial, cheap) filters candidates: already selected,
+        over budget, or — with the cost service on — pruned because even
+        a best-possible gain (the relevant queries' entire current cost)
+        cannot reach the round's improvement threshold.  Phase 2 prices
+        the survivors: with the service, whole candidate evaluations fan
+        out over the session pool (each worker prices its candidate's
+        relevant queries serially through the atomic memo, extending the
+        current configuration's what-if environment incrementally);
+        without it, the plain serial loop.  Phase 3 reduces in candidate
+        order with the same strict comparison either way — results are
+        byte-identical to the serial path, with ties broken by candidate
+        position, never by completion order.
+        """
+        eligible = []
+        pruned = 0
+        for key, candidate in candidates.items():
+            if key in selected_keys:
+                continue
+            trial = self._extend(current, candidate)
+            extra = (
+                self._db.estimated_configuration_bytes(trial)
+                - base_bytes - used
+            )
+            if used + max(0, extra) > budget_bytes:
+                continue
+            relevant = [
+                idx for idx, query in enumerate(queries)
+                if self._relevant(candidate, query)
+            ]
+            if self._service is not None:
+                upper = sum(current_costs[idx] for idx in relevant)
+                if upper < threshold:
+                    pruned += 1
+                    continue
+            eligible.append((key, candidate, trial, extra, relevant))
+        if pruned:
+            obs.counter_add("recommender.candidates_pruned", pruned)
+
+        def evaluate(item):
+            _key, _candidate, trial, _extra, relevant = item
+            return self._what_if_batch(
+                [queries[idx] for idx in relevant], trial, base=current
+            )
+
+        if self._service is not None:
+            raw_costs = self._session.map_batch(evaluate, eligible)
+        else:
+            raw_costs = [evaluate(item) for item in eligible]
+
+        best = None
+        for (key, candidate, _trial, extra, relevant), raw in zip(
+                eligible, raw_costs):
+            gain = 0.0
+            trial_costs = {}
+            for idx, cost in zip(relevant, raw):
+                cost *= weights[idx]
+                trial_costs[idx] = cost
+                gain += current_costs[idx] - cost
+            if gain < threshold:
+                # Not worth its maintenance/storage footprint: the
+                # candidate is ineligible this round.
+                continue
+            score = gain / max(1, extra)
+            if best is None or score > best[0]:
+                best = (score, key, candidate, extra, gain, trial_costs)
+        return best
+
+    def _what_if_batch(self, queries, config, base=None, parallel=False):
+        """H costs of ``queries`` under ``config`` via the active path.
+
+        The cost service when enabled (atomic memoization, incremental
+        environments); the session's plain what-if loop otherwise.
+        ``parallel`` fans misses out over the session pool and must only
+        be set from the main thread.
+        """
+        if self._service is not None:
+            return self._service.costs(
+                queries, config, base=base, oracle=self.oracle,
+                parallel=parallel,
+            )
+        return self._session.what_if_costs(
+            queries, config, oracle=self.oracle
         )
 
     # ------------------------------------------------------------------

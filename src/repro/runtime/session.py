@@ -122,6 +122,20 @@ class MeasurementSession:
             )
         return list(self._pool.map(fn, items))
 
+    def map_batch(self, fn, items):
+        """Apply ``fn`` over ``items`` on the worker pool, in order.
+
+        The public face of the session's pool for callers that batch
+        units other than single queries — the what-if recommender fans
+        whole *candidate evaluations* out through here (one candidate's
+        relevant queries are priced serially inside the worker, so the
+        pool is never re-entered).  Results are returned in submission
+        order whatever the pool width, which is what keeps the parallel
+        candidate search byte-identical to the serial one: the caller's
+        reduction sees the same sequence either way.
+        """
+        return self._map(fn, items)
+
     # ------------------------------------------------------------------
     # Measurement (actual costs, A)
 

@@ -15,8 +15,13 @@ from ..common.hardware import pages_for_bytes
 class Table:
     """Data of one table: schema + columnar arrays."""
 
+    # Class-level default so instances unpickled from artifact stores
+    # written before the cache existed still resolve the attribute.
+    _byte_size = None
+
     def __init__(self, schema, columns=None):
         self.schema = schema
+        self._byte_size = None
         if columns is None:
             columns = {
                 col.name: col.sql_type.coerce([]) for col in schema.columns
@@ -58,8 +63,16 @@ class Table:
         return list(self._columns)
 
     def byte_size(self):
-        """Heap size in bytes under the declared row width."""
-        return self.row_count * self.schema.row_width()
+        """Heap size in bytes under the declared row width.
+
+        Cached after the first call — every page-count lookup in the
+        cost model funnels through here, so the recommender's what-if
+        loops hit this constantly.  Invalidated by :meth:`append_rows`
+        (the only mutation that changes the row count).
+        """
+        if self._byte_size is None:
+            self._byte_size = self.row_count * self.schema.row_width()
+        return self._byte_size
 
     def page_count(self):
         """Heap size in pages (the unit the cost model scans in)."""
@@ -85,6 +98,7 @@ class Table:
             raise CatalogError("appended columns have differing lengths")
         for name, arr in coerced.items():
             self._columns[name] = np.concatenate([self._columns[name], arr])
+        self._byte_size = None
         return lengths.pop()
 
     def take(self, row_ids, column_names):

@@ -1,0 +1,297 @@
+"""What-if cost service: memo keys, invalidation, parity, pruning."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.engine.configuration import primary_configuration
+from repro.index.definition import IndexDefinition
+from repro.recommender.costservice import (
+    WhatIfCostService,
+    query_tables,
+    relevant_fingerprint,
+    service_enabled,
+)
+from repro.recommender.profiles import RecommenderProfile
+from repro.recommender.whatif import WhatIfRecommender
+from repro.runtime.cache import BoundedCache
+from repro.workload.workload import Workload, make_instance
+
+from conftest import load_city_database
+
+ORDERS_SQL = (
+    "SELECT o.city, COUNT(*) FROM orders o WHERE o.uid = 3 GROUP BY o.city"
+)
+USERS_SQL = (
+    "SELECT u.city, COUNT(*) FROM users u WHERE u.age = 30 GROUP BY u.city"
+)
+
+
+@pytest.fixture
+def db():
+    db = load_city_database(n_users=2000, n_orders=12000, seed=7)
+    db.apply_configuration(primary_configuration(db.catalog, name="P"))
+    return db
+
+
+def workload_of(sqls):
+    return Workload(
+        "W", [make_instance(sql, "W", i=i) for i, sql in enumerate(sqls)]
+    )
+
+
+def orders_trial(db):
+    return db.configuration.with_indexes(
+        [IndexDefinition(table="orders", columns=("uid",))]
+    )
+
+
+# ----------------------------------------------------------------------
+# Enablement knob
+
+def test_service_enabled_flag_and_env(monkeypatch):
+    assert service_enabled(True) is True
+    assert service_enabled(False) is False
+    monkeypatch.delenv("REPRO_WHATIF_CACHE", raising=False)
+    assert service_enabled() is True
+    for value in ("0", "false", "NO", " off "):
+        monkeypatch.setenv("REPRO_WHATIF_CACHE", value)
+        assert service_enabled() is False
+    monkeypatch.setenv("REPRO_WHATIF_CACHE", "1")
+    assert service_enabled() is True
+
+
+# ----------------------------------------------------------------------
+# The atomic (relevant-subset) cache key
+
+def test_relevant_fingerprint_ignores_unrelated_structures(db):
+    bound = db.bind(ORDERS_SQL)
+    assert query_tables(bound) == {"orders"}
+    trial = orders_trial(db)
+    baseline = relevant_fingerprint(bound, trial, db.catalog)
+    # An index on a table the query never touches must not change the key
+    # (this is exactly what makes round-2 lookups hit after an unrelated
+    # structure was selected in round 1) ...
+    noisy = trial.with_indexes(
+        [IndexDefinition(table="users", columns=("age",))]
+    )
+    assert relevant_fingerprint(bound, noisy, db.catalog) == baseline
+    # ... and so must one the planner cannot use: orders.city neither
+    # matches the equality filter (uid) nor covers {uid, city} ...
+    unusable = trial.with_indexes(
+        [IndexDefinition(table="orders", columns=("city",))]
+    )
+    assert relevant_fingerprint(bound, unusable, db.catalog) == baseline
+    # ... while a covering index on the query's table changes the key.
+    covering = trial.with_indexes(
+        [IndexDefinition(table="orders", columns=("city", "uid"))]
+    )
+    assert relevant_fingerprint(bound, covering, db.catalog) != baseline
+
+
+def test_service_memoizes_and_counts(db):
+    service = WhatIfCostService(db)
+    trial = orders_trial(db)
+    first = service.costs([ORDERS_SQL], trial)
+    assert service.stats()["misses"] == 1
+    again = service.costs([ORDERS_SQL], trial)
+    assert again == first
+    assert service.stats()["hits"] == 1
+    # The memo lives on the database, so a second service instance hits.
+    other = WhatIfCostService(db)
+    assert other.costs([ORDERS_SQL], trial) == first
+    assert other.stats() == {"hits": 1, "misses": 0, "hit_rate": 1.0}
+
+
+def test_service_costs_match_direct_estimates(db):
+    service = WhatIfCostService(db)
+    trial = orders_trial(db)
+    direct = [
+        db.estimate_hypothetical(sql, trial, force_hypothetical=True)
+        for sql in (ORDERS_SQL, USERS_SQL)
+    ]
+    assert service.costs([ORDERS_SQL, USERS_SQL], trial) == direct
+    # Cache hits return the same values again.
+    assert service.costs([ORDERS_SQL, USERS_SQL], trial) == direct
+
+
+def test_cache_hits_across_unrelated_growth(db):
+    """Round-2 repricing after an unrelated selection is pure cache hits."""
+    service = WhatIfCostService(db)
+    trial = orders_trial(db)
+    first = service.costs([ORDERS_SQL], trial)
+    grown = trial.with_indexes(
+        [IndexDefinition(table="users", columns=("age",))]
+    )
+    assert service.costs([ORDERS_SQL], grown) == first
+    assert service.stats()["hits"] == 1
+
+
+# ----------------------------------------------------------------------
+# Invalidation: every mutation that invalidates plans drops the memo
+
+def _prime(db):
+    service = WhatIfCostService(db)
+    trial = orders_trial(db)
+    service.costs([ORDERS_SQL], trial)
+    snapshot = db.cache_stats()["whatif_cache"]
+    assert snapshot["misses"] >= 1
+    return service, trial
+
+
+def test_apply_configuration_invalidates(db):
+    _prime(db)
+    before = db.cache_stats()["whatif_cache"]["invalidations"]
+    db.apply_configuration(orders_trial(db).renamed("R"))
+    after = db.cache_stats()["whatif_cache"]["invalidations"]
+    assert after > before
+
+
+def test_insert_rows_invalidates_and_recomputes(db):
+    service, trial = _prime(db)
+    stale = service.costs([ORDERS_SQL], trial)
+    n = 6000
+    db.insert_rows(
+        "orders",
+        {
+            "oid": np.arange(100000, 100000 + n),
+            "uid": np.full(n, 3),
+            "city": np.array(["tor"] * n, dtype=object),
+            "amount": np.ones(n, dtype=np.int64),
+        },
+    )
+    db.collect_statistics()
+    fresh = service.costs([ORDERS_SQL], trial)
+    assert fresh != stale, (
+        "post-insert costs must be recomputed, not served stale"
+    )
+
+
+def test_collect_statistics_invalidates(db):
+    _prime(db)
+    before = db.cache_stats()["whatif_cache"]["invalidations"]
+    db.collect_statistics()
+    assert db.cache_stats()["whatif_cache"]["invalidations"] > before
+
+
+# ----------------------------------------------------------------------
+# Recommender parity and the optimization counters
+
+def test_cached_and_uncached_recommendations_identical(db):
+    sqls = [
+        f"SELECT o.city, COUNT(*) FROM orders o WHERE o.uid = {u} "
+        f"GROUP BY o.city"
+        for u in (3, 17, 99)
+    ] + [USERS_SQL]
+    profile = RecommenderProfile("t", min_improvement=0.001)
+    reports = {}
+    for cached in (False, True):
+        fresh = load_city_database(n_users=2000, n_orders=12000, seed=7)
+        fresh.apply_configuration(
+            primary_configuration(fresh.catalog, name="P")
+        )
+        recommender = WhatIfRecommender(fresh, profile, use_cache=cached)
+        reports[cached] = recommender.recommend(
+            workload_of(sqls), budget_bytes=10**9, name="R"
+        )
+    assert (
+        reports[True].configuration.fingerprint
+        == reports[False].configuration.fingerprint
+    )
+    assert reports[True].estimated_cost == reports[False].estimated_cost
+    assert reports[True].base_cost == reports[False].base_cost
+    assert reports[True].selected == reports[False].selected
+
+
+def test_recommender_emits_service_counters(db):
+    sqls = [ORDERS_SQL, USERS_SQL]
+    with obs.recording() as recorder:
+        recommender = WhatIfRecommender(
+            db, RecommenderProfile("t", min_improvement=0.001),
+            use_cache=True,
+        )
+        recommender.recommend(workload_of(sqls), budget_bytes=10**9)
+    counters = recorder.metrics.snapshot()["counters"]
+    assert counters.get("recommender.whatif_cache.misses", 0) > 0
+    assert counters.get("recommender.whatif_cache.hits", 0) > 0, (
+        "greedy rounds re-price candidates: some lookups must hit"
+    )
+    assert counters.get("optimizer.env_delta_builds", 0) > 0, (
+        "candidate trials should extend the current env incrementally"
+    )
+
+
+def test_upper_bound_pruning_skips_cheap_candidates(db):
+    # The users query is a tiny fraction of the workload cost, so with a
+    # high improvement threshold every users-only candidate has an upper
+    # bound (the users query's entire cost) below the round threshold.
+    sqls = [ORDERS_SQL] * 6 + [USERS_SQL]
+    with obs.recording() as recorder:
+        recommender = WhatIfRecommender(
+            db, RecommenderProfile("t", min_improvement=0.2),
+            use_cache=True,
+        )
+        recommender.recommend(workload_of(sqls), budget_bytes=10**9)
+    counters = recorder.metrics.snapshot()["counters"]
+    assert counters.get("recommender.candidates_pruned", 0) > 0
+
+
+def test_parallel_candidate_search_matches_serial(db):
+    sqls = [
+        f"SELECT o.city, COUNT(*) FROM orders o WHERE o.uid = {u} "
+        f"GROUP BY o.city"
+        for u in (3, 17, 99)
+    ] + [USERS_SQL]
+    profile = RecommenderProfile("t", min_improvement=0.001)
+    fingerprints = {}
+    for jobs in (1, 4):
+        fresh = load_city_database(n_users=2000, n_orders=12000, seed=7)
+        fresh.apply_configuration(
+            primary_configuration(fresh.catalog, name="P")
+        )
+        from repro.runtime.session import MeasurementSession
+
+        with MeasurementSession(fresh, jobs=jobs) as session:
+            recommender = WhatIfRecommender(
+                fresh, profile, session=session, use_cache=True
+            )
+            report = recommender.recommend(
+                workload_of(sqls), budget_bytes=10**9, name="R"
+            )
+        fingerprints[jobs] = report.configuration.fingerprint
+    assert fingerprints[1] == fingerprints[4]
+
+
+# ----------------------------------------------------------------------
+# Satellites: BoundedCache.peek, Table.byte_size memo
+
+def test_bounded_cache_peek_does_not_touch_stats_or_lru():
+    cache = BoundedCache("t", maxsize=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.peek("a") == 1
+    assert cache.peek("zzz", "fallback") == "fallback"
+    stats = cache.stats.snapshot()
+    assert stats["hits"] == 0 and stats["misses"] == 0
+    # peek must not refresh recency: "a" is still the eviction victim.
+    cache.put("c", 3)
+    assert cache.peek("a") is None
+    assert cache.peek("b") == 2
+
+
+def test_table_byte_size_cached_and_invalidated(db):
+    table = db.table("orders")
+    first = table.byte_size()
+    assert table.byte_size() is first or table.byte_size() == first
+    assert table._byte_size == first
+    n = 10
+    db.insert_rows(
+        "orders",
+        {
+            "oid": np.arange(900000, 900000 + n),
+            "uid": np.zeros(n, dtype=np.int64),
+            "city": np.array(["tor"] * n, dtype=object),
+            "amount": np.ones(n, dtype=np.int64),
+        },
+    )
+    assert table.byte_size() == first + n * table.schema.row_width()
