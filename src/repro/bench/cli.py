@@ -18,7 +18,6 @@ of its results; see ``docs/cli.md`` for the full flag reference and
 import argparse
 import pathlib
 import sys
-import time
 from contextlib import nullcontext
 
 from . import ablations as ablation_module
@@ -115,10 +114,10 @@ def _run_experiments(args):
     scope = obs.recording() if observed else nullcontext(None)
     with scope as recorder:
         for experiment_id in wanted:
-            started = time.time()
+            started = obs.perf_seconds()
             with obs.span("bench.experiment", experiment=experiment_id):
                 result = ALL_EXPERIMENTS[experiment_id](context)
-            elapsed = time.time() - started
+            elapsed = obs.perf_seconds() - started
             print(result)
             print(f"[{experiment_id} completed in {elapsed:.0f}s]\n")
             path = results_dir / f"{result.experiment}.txt"

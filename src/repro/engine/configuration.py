@@ -16,7 +16,7 @@ runtime layer uses to key plan/estimate caches and the artifact store
 """
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..common.errors import ConfigurationError
 from ..index.definition import IndexDefinition

@@ -1,0 +1,56 @@
+"""repro.lint — machine-checked reproducibility invariants.
+
+The reproduction's headline guarantees (byte-identical serial/parallel
+results, sound ``H(q, Ch, Ca)`` memoization) rest on project-wide
+conventions; this package turns each one into an AST-based rule so CI
+fails when a convention breaks instead of a figure silently drifting.
+
+Rule catalog (see ``docs/static-analysis.md`` for the rationale):
+
+========  ==============================================================
+RNG001    no direct ``random``/``numpy.random``/``uuid`` use outside
+          ``repro.common.rng``
+CLK001    no wall-clock reads outside ``repro.obs`` (the engine clock
+          is virtual)
+INV001    every ``Database`` mutator must (transitively) call
+          ``invalidate_caches()``
+LCK001    attribute writes in pool-submitted callables must be
+          lock-guarded or thread-local
+SCH001    ``build_run_report`` keys and ``RUN_REPORT_SCHEMA``
+          properties must agree (both directions)
+EXC001    no bare ``except`` and no broad except that never re-raises
+========  ==============================================================
+
+Run it with ``python -m repro.lint [paths]``; silence a reviewed
+finding with ``# repro-lint: disable=RULE``; grandfather findings with
+``--baseline`` (see :mod:`repro.lint.baseline`).
+"""
+
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .core import FileUnit, Finding, Project, Rule
+from .rules import ALL_RULES
+from .runner import (
+    LINT_REPORT_SCHEMA,
+    LINT_REPORT_SCHEMA_ID,
+    LintResult,
+    collect_files,
+    run_lint,
+)
+from .suppress import parse_suppressions
+
+__all__ = [
+    "ALL_RULES",
+    "FileUnit",
+    "Finding",
+    "LINT_REPORT_SCHEMA",
+    "LINT_REPORT_SCHEMA_ID",
+    "LintResult",
+    "Project",
+    "Rule",
+    "apply_baseline",
+    "collect_files",
+    "load_baseline",
+    "parse_suppressions",
+    "run_lint",
+    "write_baseline",
+]

@@ -1,0 +1,91 @@
+"""Baselines: grandfathered findings that do not fail the build.
+
+A baseline is a committed JSON file listing findings that predate a
+rule (or are accepted with justification); ``--baseline FILE`` subtracts
+them from a run, so only *new* findings fail.  Entries are keyed by
+``(rule, path, message)`` — deliberately **not** by line number, so
+unrelated edits above a grandfathered finding do not resurrect it.
+Identical findings are matched by multiplicity: a baseline with two
+entries for a key absorbs at most two current findings of that key.
+
+``--write-baseline FILE`` snapshots the current findings; the intended
+workflow is to shrink the file over time and treat any growth as a
+change that needs review (the file is sorted and stable under re-runs,
+so diffs are meaningful).
+"""
+
+import json
+from collections import Counter
+
+BASELINE_VERSION = 1
+
+
+def _key(finding):
+    return (finding.rule, finding.path, finding.message)
+
+
+def write_baseline(findings, path):
+    """Write ``findings`` as a baseline file (sorted, stable)."""
+    entries = [
+        {"rule": rule, "path": file_path, "message": message}
+        for rule, file_path, message in sorted(_key(f) for f in findings)
+    ]
+    document = {"version": BASELINE_VERSION, "findings": entries}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(entries)
+
+
+def load_baseline(path):
+    """Load a baseline file into a key-multiset.
+
+    Raises:
+        ValueError: malformed baseline (bad JSON, wrong version, or
+            entries missing keys).
+        OSError: unreadable file.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as err:
+            raise ValueError(f"{path}: baseline is not valid JSON ({err})") \
+                from None
+    if not isinstance(document, dict) \
+            or document.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: expected a baseline with version={BASELINE_VERSION}"
+        )
+    keys = Counter()
+    for entry in document.get("findings", ()):
+        try:
+            keys[(entry["rule"], entry["path"], entry["message"])] += 1
+        except (TypeError, KeyError):
+            raise ValueError(
+                f"{path}: baseline entry missing rule/path/message: "
+                f"{entry!r}"
+            ) from None
+    return keys
+
+
+def apply_baseline(findings, baseline):
+    """Split findings into (new, grandfathered) against a key-multiset.
+
+    Returns:
+        ``(new_findings, baselined_count, stale_count)`` where
+        ``stale_count`` is the number of baseline entries no current
+        finding matched — a shrink opportunity, reported but never an
+        error.
+    """
+    remaining = Counter(baseline)
+    new = []
+    baselined = 0
+    for finding in findings:
+        key = _key(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            baselined += 1
+        else:
+            new.append(finding)
+    stale = sum(remaining.values())
+    return new, baselined, stale

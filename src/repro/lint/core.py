@@ -1,0 +1,204 @@
+"""Core types of the invariant checker: findings, rules, file units.
+
+``repro.lint`` exists because the reproduction's headline guarantees —
+byte-identical serial/parallel results and sound ``H`` memoization —
+rest on conventions no test exercises directly: randomness flows through
+:mod:`repro.common.rng`, wall clocks live only in :mod:`repro.obs`,
+every :class:`~repro.engine.database.Database` mutator invalidates the
+derived-result caches, and state shared across session workers is
+lock-guarded.  Each convention is encoded here as a :class:`Rule` over
+the stdlib :mod:`ast`, so breaking one fails CI instead of silently
+skewing a figure.
+
+A rule sees either one :class:`FileUnit` (``scope = "file"``) or the
+whole :class:`Project` (``scope = "project"``, for cross-file passes
+such as the report/schema drift check).  Findings are plain value
+objects; suppression comments and the committed baseline are applied by
+the runner, not by rules.
+"""
+
+import ast
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self):
+        """The canonical single-line text rendering."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} " \
+               f"{self.message}"
+
+    def to_json(self):
+        """JSON-serializable dict (the ``--format json`` item shape)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``name`` (the ``RULE000`` id used in suppression
+    comments, baselines and ``--rule`` filters), ``description`` (one
+    line for ``--list-rules`` and the docs), and ``scope``:
+
+    * ``"file"`` — :meth:`check_file` runs once per parsed file;
+    * ``"project"`` — :meth:`check_project` runs once over all files.
+    """
+
+    name = ""
+    description = ""
+    scope = "file"
+
+    def check_file(self, unit):
+        """Yield :class:`Finding` objects for one file (file scope)."""
+        return iter(())
+
+    def check_project(self, project):
+        """Yield :class:`Finding` objects for the project (project scope)."""
+        return iter(())
+
+
+class FileUnit:
+    """One parsed source file plus the derived facts rules need."""
+
+    def __init__(self, path, rel, source, tree):
+        self.path = path
+        self.rel = rel
+        #: Relative path with forward slashes — what rules match
+        #: exemptions against and what findings report.
+        self.posix = rel.replace("\\", "/")
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        self._aliases = None
+
+    @property
+    def aliases(self):
+        """Import alias map ``{bound name: dotted origin}`` (lazy)."""
+        if self._aliases is None:
+            self._aliases = import_aliases(self.tree)
+        return self._aliases
+
+    def finding(self, rule, node, message):
+        """A :class:`Finding` of ``rule`` anchored at ``node``."""
+        return Finding(
+            path=self.posix,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule,
+            message=message,
+        )
+
+
+class Project:
+    """All file units of one lint run, for cross-file passes."""
+
+    def __init__(self, units):
+        self.units = list(units)
+
+    def units_defining_function(self, name):
+        """Units with a module-level ``def name`` (with the node)."""
+        for unit in self.units:
+            for node in unit.tree.body:
+                if isinstance(node, ast.FunctionDef) and node.name == name:
+                    yield unit, node
+
+    def units_assigning(self, name):
+        """Units with a module-level ``name = ...`` (with the value node)."""
+        for unit in self.units:
+            for node in unit.tree.body:
+                if isinstance(node, ast.Assign) and any(
+                    isinstance(t, ast.Name) and t.id == name
+                    for t in node.targets
+                ):
+                    yield unit, node
+
+
+# ----------------------------------------------------------------------
+# AST helpers shared by the rules
+
+
+def dotted_name(node):
+    """``a.b.c`` for a Name/Attribute chain, else ``None``.
+
+    Chains rooted in anything but a plain name (calls, subscripts)
+    return ``None`` — rules that need those walk the chain themselves.
+    """
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def import_aliases(tree):
+    """Map every imported binding to its fully dotted origin.
+
+    ``import numpy as np`` → ``{"np": "numpy"}``;
+    ``from time import perf_counter as pc`` →
+    ``{"pc": "time.perf_counter"}``.  Relative imports are skipped —
+    the rules only care about stdlib/third-party absolute origins.
+    """
+    aliases = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                origin = alias.name if alias.asname else \
+                    alias.name.split(".")[0]
+                aliases[bound] = origin
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 \
+                and node.module:
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                aliases[bound] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def resolve_dotted(name, aliases):
+    """Rewrite the first segment of ``name`` through the alias map.
+
+    ``np.random.default_rng`` with ``{"np": "numpy"}`` becomes
+    ``numpy.random.default_rng``; unknown roots pass through unchanged.
+    """
+    head, _, rest = name.partition(".")
+    origin = aliases.get(head, head)
+    return f"{origin}.{rest}" if rest else origin
+
+
+def attribute_chain_root(node):
+    """The base expression of an attribute/subscript chain.
+
+    ``self.tables[name]`` and ``self._built.index_data[k]`` both walk
+    down to the ``self`` Name node; returns ``(root, first_attr)`` where
+    ``first_attr`` is the attribute directly on the root (``"tables"``,
+    ``"_built"``), or ``(None, None)`` for non-chain targets.
+    """
+    first_attr = None
+    while True:
+        if isinstance(node, ast.Attribute):
+            first_attr = node.attr
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        else:
+            break
+    if isinstance(node, ast.Name):
+        return node, first_attr
+    return None, None

@@ -1,0 +1,36 @@
+"""The rule registry: every shipped invariant check, by id.
+
+Adding a rule = adding a module with a :class:`~repro.lint.core.Rule`
+subclass and listing an instance here; the CLI, the docs catalog
+(``docs/static-analysis.md``) and the test fixtures key off
+``ALL_RULES``.
+"""
+
+from .clock import ClockRule
+from .exceptions import ExceptionRule
+from .invalidation import InvalidationRule
+from .locks import LockRule
+from .rng import RngRule
+from .schema_sync import SchemaSyncRule
+
+ALL_RULES = {
+    rule.name: rule
+    for rule in (
+        RngRule(),
+        ClockRule(),
+        InvalidationRule(),
+        LockRule(),
+        SchemaSyncRule(),
+        ExceptionRule(),
+    )
+}
+
+__all__ = [
+    "ALL_RULES",
+    "ClockRule",
+    "ExceptionRule",
+    "InvalidationRule",
+    "LockRule",
+    "RngRule",
+    "SchemaSyncRule",
+]

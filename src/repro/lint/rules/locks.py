@@ -1,0 +1,237 @@
+"""LCK001 — state shared with session workers must be lock-guarded.
+
+``MeasurementSession`` fans callables out over a thread pool.  The
+byte-identity guarantee only covers *results* (collected in submission
+order); it says nothing about side effects, so an attribute write
+inside a pooled callable is a data race unless it is guarded by a lock
+or lands in thread-local storage.  Racy counters are the classic
+failure: the run "works" but its reported statistics are silently
+wrong, which for a measurement framework is the worst kind of bug.
+
+Mechanically: for every callable submitted to ``map_batch`` /
+``submit`` / ``_map`` (or ``.map`` on a receiver whose name mentions a
+pool or executor), this rule inspects the callable's body — following
+``self.method()`` calls into methods of the enclosing class, same
+file, bounded depth — and flags
+
+* assignments/augmented assignments to attributes whose base object is
+  not local to the callable (``self.hits += 1``, ``shared.total = x``),
+* augmented assignments to ``nonlocal``/``global`` names,
+
+unless the write sits under ``with <something named *lock*>:`` or the
+attribute chain mentions thread-local storage (a segment containing
+``local``).  Both escapes are heuristics by design — the rule is meant
+to force the author to *name* the synchronization.
+"""
+
+import ast
+
+from ..core import Rule, dotted_name
+
+SUBMIT_ATTRS = frozenset({"map_batch", "submit", "_map"})
+POOLISH_FRAGMENTS = ("pool", "executor")
+MAX_DEPTH = 4
+
+
+def _annotate_parents(tree):
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child._lint_parent = node
+
+
+def _enclosing(node, kinds):
+    node = getattr(node, "_lint_parent", None)
+    while node is not None:
+        if isinstance(node, kinds):
+            return node
+        node = getattr(node, "_lint_parent", None)
+    return None
+
+
+def _is_submission(call):
+    """Whether a Call node hands its first argument to a worker pool."""
+    func = call.func
+    if not isinstance(func, ast.Attribute) or not call.args:
+        return False
+    if func.attr in SUBMIT_ATTRS:
+        return True
+    if func.attr == "map":
+        receiver = (dotted_name(func.value) or "").lower()
+        return any(f in receiver for f in POOLISH_FRAGMENTS)
+    return False
+
+
+def _is_lockish(expr):
+    """Whether a with-item context expression names a lock."""
+    if isinstance(expr, ast.Call):
+        expr = expr.func
+    name = dotted_name(expr) or ""
+    return "lock" in name.lower()
+
+
+def _chain_mentions_local(node):
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if isinstance(node, ast.Attribute) and "local" in node.attr.lower():
+            return True
+        node = node.value
+    return isinstance(node, ast.Name) and "local" in node.id.lower()
+
+
+def _local_names(fn):
+    """Names bound inside ``fn`` (params + plain-name stores)."""
+    names = set()
+    args = fn.args
+    for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+        names.add(arg.arg)
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    if isinstance(fn, ast.Lambda):
+        return names
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            names.add(node.id)
+    return names
+
+
+def _self_method_calls(fn):
+    """Names of ``self.X(...)`` calls anywhere in ``fn``."""
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and isinstance(node.func.value, ast.Name) \
+                and node.func.value.id == "self":
+            yield node.func.attr
+
+
+class LockRule(Rule):
+    name = "LCK001"
+    description = (
+        "attribute writes in pool-submitted callables must be "
+        "lock-guarded or thread-local"
+    )
+    scope = "file"
+
+    def check_file(self, unit):
+        _annotate_parents(unit.tree)
+        methods_by_class = {}
+        for node in ast.walk(unit.tree):
+            if isinstance(node, ast.ClassDef):
+                methods_by_class[node] = {
+                    stmt.name: stmt for stmt in node.body
+                    if isinstance(stmt, ast.FunctionDef)
+                }
+        for call in ast.walk(unit.tree):
+            if not (isinstance(call, ast.Call) and _is_submission(call)):
+                continue
+            target = self._resolve_callable(call)
+            if target is None:
+                continue
+            cls = _enclosing(call, ast.ClassDef)
+            yield from self._check_callable(
+                unit, target, methods_by_class.get(cls, {}),
+                depth=0, visited=set(),
+            )
+
+    def _resolve_callable(self, call):
+        """The Lambda/FunctionDef node submitted by ``call``, if local."""
+        arg = call.args[0]
+        if isinstance(arg, ast.Lambda):
+            return arg
+        if not isinstance(arg, ast.Name):
+            return None
+        scope = _enclosing(call, (ast.FunctionDef, ast.Module))
+        while scope is not None:
+            for stmt in scope.body:
+                if isinstance(stmt, ast.FunctionDef) \
+                        and stmt.name == arg.id:
+                    return stmt
+            if isinstance(scope, ast.Module):
+                break
+            scope = _enclosing(scope, (ast.FunctionDef, ast.Module))
+        return None
+
+    def _check_callable(self, unit, fn, methods, depth, visited):
+        if fn in visited or depth > MAX_DEPTH:
+            return
+        visited.add(fn)
+        if not isinstance(fn, ast.Lambda):
+            locals_ = _local_names(fn)
+            locals_.discard("self")
+            locals_.discard("cls")
+            nonlocals = set()
+            for node in ast.walk(fn):
+                if isinstance(node, (ast.Nonlocal, ast.Global)):
+                    nonlocals.update(node.names)
+            yield from self._scan(
+                unit, fn.body, locals_, nonlocals, guarded=False
+            )
+        for name in _self_method_calls(fn):
+            if name in methods:
+                yield from self._check_callable(
+                    unit, methods[name], methods, depth + 1, visited
+                )
+
+    def _scan(self, unit, stmts, locals_, nonlocals, guarded):
+        for stmt in stmts:
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                inner = guarded or any(
+                    _is_lockish(item.context_expr) for item in stmt.items
+                )
+                yield from self._scan(
+                    unit, stmt.body, locals_, nonlocals, inner
+                )
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                   ast.ClassDef)):
+                continue    # nested defs are analyzed only if submitted
+            else:
+                if not guarded:
+                    yield from self._flag_writes(
+                        unit, stmt, locals_, nonlocals
+                    )
+                for attr in ("body", "orelse", "finalbody"):
+                    block = getattr(stmt, attr, None)
+                    if isinstance(block, list):
+                        yield from self._scan(
+                            unit, block, locals_, nonlocals, guarded
+                        )
+                for handler in getattr(stmt, "handlers", ()):
+                    yield from self._scan(
+                        unit, handler.body, locals_, nonlocals, guarded
+                    )
+
+    def _flag_writes(self, unit, stmt, locals_, nonlocals):
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            targets = [stmt.target]
+        else:
+            return
+        for target in targets:
+            if isinstance(target, ast.Attribute):
+                base = target.value
+                while isinstance(base, (ast.Attribute, ast.Subscript)):
+                    base = base.value
+                if not isinstance(base, ast.Name):
+                    continue
+                if base.id in locals_:
+                    continue
+                if _chain_mentions_local(target):
+                    continue
+                name = dotted_name(target) or f"...{target.attr}"
+                yield unit.finding(
+                    self.name, stmt,
+                    f"unguarded write to shared attribute {name!r} "
+                    f"inside a pool-submitted callable; wrap it in "
+                    f"'with <lock>:' or move it to thread-local state",
+                )
+            elif isinstance(target, ast.Name) \
+                    and isinstance(stmt, ast.AugAssign) \
+                    and target.id in nonlocals:
+                yield unit.finding(
+                    self.name, stmt,
+                    f"unguarded augmented assignment to nonlocal/global "
+                    f"{target.id!r} inside a pool-submitted callable; "
+                    f"guard it with a lock",
+                )

@@ -1,0 +1,81 @@
+"""RNG001 — all randomness flows through :mod:`repro.common.rng`.
+
+Every experiment in the reproduction is seed-addressed: the same seed
+must produce byte-identical data, workloads and recommendations across
+runs, machines and pool widths.  That only holds if no component reaches
+for an ambient entropy source.  This rule flags
+
+* ``import random`` / ``from random import ...`` (the stdlib module is
+  seeded per-process and shared across threads),
+* ``import uuid`` / ``from uuid import ...`` (host/time-derived ids),
+* any use of ``numpy.random`` — including ``np.random.default_rng`` —
+  outside :mod:`repro.common.rng`, which is the one sanctioned wrapper
+  (``make_rng`` / ``spawn`` give every consumer its own derived stream).
+"""
+
+import ast
+
+from ..core import Rule, dotted_name, resolve_dotted
+
+_BANNED_MODULES = ("random", "uuid")
+_EXEMPT_SUFFIX = "repro/common/rng.py"
+
+
+class RngRule(Rule):
+    name = "RNG001"
+    description = (
+        "no direct random/numpy.random/uuid use outside repro.common.rng"
+    )
+    scope = "file"
+
+    def check_file(self, unit):
+        if unit.posix.endswith(_EXEMPT_SUFFIX):
+            return
+        for node in ast.walk(unit.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in _BANNED_MODULES:
+                        yield unit.finding(
+                            self.name, node,
+                            f"direct import of {alias.name!r}; derive "
+                            f"randomness from repro.common.rng instead",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.level == 0 \
+                    and node.module:
+                root = node.module.split(".")[0]
+                if root in _BANNED_MODULES:
+                    yield unit.finding(
+                        self.name, node,
+                        f"direct import from {node.module!r}; derive "
+                        f"randomness from repro.common.rng instead",
+                    )
+                elif node.module == "numpy.random" or \
+                        node.module.startswith("numpy.random."):
+                    yield unit.finding(
+                        self.name, node,
+                        f"direct import from {node.module!r}; use "
+                        f"repro.common.rng.make_rng/spawn instead",
+                    )
+            elif isinstance(node, ast.Attribute):
+                name = dotted_name(node)
+                if name is None:
+                    continue
+                resolved = resolve_dotted(name, unit.aliases)
+                if resolved == "numpy.random" or \
+                        resolved.startswith("numpy.random."):
+                    # Report the innermost chain that reaches
+                    # numpy.random, once (parent Attribute nodes of the
+                    # same chain resolve deeper and also match; keep the
+                    # shortest by only firing when the child does not).
+                    child = dotted_name(node.value)
+                    if child is not None:
+                        child = resolve_dotted(child, unit.aliases)
+                        if child == "numpy.random" or \
+                                child.startswith("numpy.random."):
+                            continue
+                    yield unit.finding(
+                        self.name, node,
+                        f"direct use of {resolved!r}; use "
+                        f"repro.common.rng.make_rng/spawn instead",
+                    )

@@ -1,0 +1,65 @@
+"""Suppression comments: silencing a finding at its source line.
+
+Two forms, mirroring the usual linter conventions:
+
+* ``# repro-lint: disable=RULE1,RULE2`` on the offending line silences
+  those rules for that line only;
+* ``# repro-lint: disable-file=RULE1,RULE2`` anywhere in a file
+  silences those rules for the whole file.
+
+``disable=all`` (or ``disable-file=all``) silences every rule.  A
+suppression is the *reviewed* escape hatch — grandfathered findings
+that nobody has reviewed belong in the baseline instead (see
+:mod:`repro.lint.baseline`).
+"""
+
+import re
+
+_DIRECTIVE_RE = re.compile(
+    r"#\s*repro-lint:\s*(disable(?:-file)?)\s*=\s*"
+    r"([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+ALL = "all"
+
+
+class Suppressions:
+    """Parsed suppression directives of one source file."""
+
+    def __init__(self, line_rules, file_rules):
+        self._line_rules = line_rules
+        self._file_rules = file_rules
+
+    def is_suppressed(self, finding):
+        """Whether ``finding`` is silenced by a directive."""
+        for rules in (self._file_rules,
+                      self._line_rules.get(finding.line, ())):
+            if ALL in rules or finding.rule in rules:
+                return True
+        return False
+
+    @property
+    def count_directives(self):
+        return len(self._line_rules) + (1 if self._file_rules else 0)
+
+
+def parse_suppressions(source):
+    """Scan ``source`` for directives; returns a :class:`Suppressions`.
+
+    Directives are matched textually per line, so one inside a string
+    literal would also count — acceptable for a project-internal tool,
+    and it keeps the scan independent of tokenization errors.
+    """
+    line_rules = {}
+    file_rules = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _DIRECTIVE_RE.search(line)
+        if not match:
+            continue
+        kind, spec = match.groups()
+        rules = {r.strip() for r in spec.split(",") if r.strip()}
+        if kind == "disable-file":
+            file_rules |= rules
+        else:
+            line_rules.setdefault(lineno, set()).update(rules)
+    return Suppressions(line_rules, file_rules)

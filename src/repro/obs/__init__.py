@@ -25,6 +25,7 @@ The bench CLI exposes all of it as ``--trace FILE``, ``--metrics`` and
 vocabulary and the file schemas.
 """
 
+from .clock import perf_seconds, wall_time
 from .metrics import MetricsRegistry
 from .recorder import (
     NullRecorder,
@@ -77,6 +78,7 @@ __all__ = [
     "install",
     "is_enabled",
     "observe",
+    "perf_seconds",
     "recording",
     "render_metrics",
     "render_text",
@@ -84,5 +86,6 @@ __all__ = [
     "validate_bench_whatif",
     "validate_run_report",
     "validate_trace_record",
+    "wall_time",
     "write_report",
 ]

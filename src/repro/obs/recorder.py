@@ -24,9 +24,9 @@ bench CLI and the tests use).
 import itertools
 import json
 import threading
-import time
 from contextlib import contextmanager
 
+from .clock import perf_seconds, wall_time
 from .metrics import MetricsRegistry
 from .spans import Span
 
@@ -98,14 +98,14 @@ class _SpanHandle:
         span = self._span
         span.span_id = next(recorder._ids)
         span.parent_id = stack[-1].span_id if stack else None
-        span.start = time.time()
+        span.start = wall_time()
         stack.append(span)
-        self._t0 = time.perf_counter()
+        self._t0 = perf_seconds()
         return span
 
     def __exit__(self, *exc_info):
         span = self._span
-        span.wall_s = time.perf_counter() - self._t0
+        span.wall_s = perf_seconds() - self._t0
         stack = self._recorder._stack()
         if stack and stack[-1] is span:
             stack.pop()

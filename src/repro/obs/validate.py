@@ -6,9 +6,12 @@ Usage::
 
 Validates every line of a JSONL trace against the span/event record
 schemas and a run report against :data:`repro.obs.schemas.RUN_REPORT_SCHEMA`.
-Exit status 0 means everything validated; 1 means a schema violation or
-unreadable input (the offending path is printed).  CI runs this against
-the artifacts of a real traced benchmark.
+Exit status 0 means everything validated; 1 means a schema violation
+(including undecodable JSON — the content is wrong); 2 means an input
+file could not be read at all (missing, permission denied) — distinct
+codes so CI and scripts can tell "bad document" from "bad path".  The
+offending location is printed either way.  CI runs this against the
+artifacts of a real traced benchmark.
 """
 
 import argparse
@@ -128,9 +131,13 @@ def main(argv=None):
             document = validate_bench_file(args.bench_whatif)
             print(f"bench OK: {len(document['targets'])} targets "
                   f"({args.bench_whatif})")
-    except (SchemaError, OSError) as err:
+    except SchemaError as err:
         print(f"validation FAILED: {err}", file=sys.stderr)
         return 1
+    except OSError as err:
+        print(f"validation FAILED: cannot read input: {err}",
+              file=sys.stderr)
+        return 2
     return 0
 
 

@@ -36,6 +36,7 @@ configurations are byte-identical either way (CI enforces this).
 """
 
 import os
+import threading
 
 from .. import obs
 from ..engine.configuration import (
@@ -194,8 +195,10 @@ class WhatIfCostService:
 
     Thread-safe: the recommenders evaluate whole candidate batches on
     session worker threads, each calling :meth:`costs` concurrently; the
-    memo is a locked :class:`~repro.runtime.cache.BoundedCache` and the
-    database's own planning path is already shareable.
+    memo is a locked :class:`~repro.runtime.cache.BoundedCache`, the
+    database's own planning path is already shareable, and the service's
+    local hit/miss counters and profile memo are guarded by their own
+    lock (unguarded ``+=`` from workers would silently under-count).
     """
 
     def __init__(self, database, session=None):
@@ -204,14 +207,17 @@ class WhatIfCostService:
         # Query profiles depend only on the bound query and the catalog,
         # so one per SQL text serves every round of a recommender run.
         self._profiles = {}
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def _profile(self, bound):
-        profile = self._profiles.get(bound.sql)
+        with self._lock:
+            profile = self._profiles.get(bound.sql)
         if profile is None:
             profile = QueryProfile(bound, self._db.catalog)
-            self._profiles[bound.sql] = profile
+            with self._lock:
+                profile = self._profiles.setdefault(bound.sql, profile)
         return profile
 
     def costs(self, queries, config, base=None, oracle=False,
@@ -253,8 +259,9 @@ class WhatIfCostService:
             missing = object()
             costs = [cache.get(key, missing) for key in keys]
             todo = [i for i, c in enumerate(costs) if c is missing]
-            self.hits += len(bound) - len(todo)
-            self.misses += len(todo)
+            with self._lock:
+                self.hits += len(bound) - len(todo)
+                self.misses += len(todo)
             if len(bound) > len(todo):
                 obs.counter_add(
                     "recommender.whatif_cache.hits", len(bound) - len(todo)
@@ -283,9 +290,11 @@ class WhatIfCostService:
 
     def stats(self):
         """Local hit/miss counters of this service instance."""
-        lookups = self.hits + self.misses
+        with self._lock:
+            hits, misses = self.hits, self.misses
+        lookups = hits + misses
         return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "hit_rate": self.hits / lookups if lookups else 0.0,
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / lookups if lookups else 0.0,
         }

@@ -17,12 +17,12 @@ context wraps each pipeline phase (build/sample/recommend/measure) in
 import os
 import pickle
 import threading
-import time
 from contextlib import contextmanager
 from pathlib import Path
 
 from ..engine.configuration import content_fingerprint
 from ..obs import counter_add as _obs_count
+from ..obs.clock import perf_seconds
 
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
@@ -196,11 +196,11 @@ class StageTimings:
         Args:
             name: stage label (``"measure"``, ``"build_database"``, …).
         """
-        started = time.perf_counter()
+        started = perf_seconds()
         try:
             yield
         finally:
-            elapsed = time.perf_counter() - started
+            elapsed = perf_seconds() - started
             with self._lock:
                 self._seconds[name] = self._seconds.get(name, 0.0) + elapsed
                 self._counts[name] = self._counts.get(name, 0) + 1

@@ -8,7 +8,7 @@ comparison predicates against literals, simple aggregates
 ``col IN (SELECT c FROM t GROUP BY c HAVING COUNT(*) op k)``.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 COMPARISON_OPS = ("=", "<>", "<=", ">=", "<", ">")
 AGG_FUNCS = ("count", "sum", "avg", "min", "max")

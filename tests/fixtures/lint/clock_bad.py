@@ -1,0 +1,11 @@
+"""CLK001 positive fixture: four wall-clock reads outside repro.obs."""
+
+import time
+import datetime
+from time import perf_counter
+
+
+def stamp():
+    started = time.time()
+    now = datetime.datetime.now()
+    return started, now, perf_counter()

@@ -1,0 +1,7 @@
+"""CLK001 negative fixture: virtual costs and the sanctioned wrapper."""
+
+from repro import obs
+
+
+def stamp(plan):
+    return plan.cost_seconds, obs.perf_seconds()

@@ -1,0 +1,22 @@
+"""EXC001 positive fixture: bare and swallowed broad handlers."""
+
+
+def bare(step):
+    try:
+        return step()
+    except:
+        return None
+
+
+def swallow(step):
+    try:
+        return step()
+    except Exception:
+        return None
+
+
+def tuple_swallow(step):
+    try:
+        return step()
+    except (ValueError, Exception) as err:
+        return err

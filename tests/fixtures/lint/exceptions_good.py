@@ -1,0 +1,18 @@
+"""EXC001 negative fixture: named catches and re-raising broad ones."""
+
+import logging
+
+
+def narrow(step):
+    try:
+        return step()
+    except ValueError:
+        return None
+
+
+def logged(step):
+    try:
+        return step()
+    except Exception as err:
+        logging.error("failed: %s", err)
+        raise

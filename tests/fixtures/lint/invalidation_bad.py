@@ -1,0 +1,16 @@
+"""INV001 positive fixture: mutators that never invalidate."""
+
+
+class MiniDatabase:
+    def __init__(self):
+        self.tables = {}
+        self.statistics = {}
+
+    def invalidate_caches(self):
+        self._plan_cache = {}
+
+    def load_table(self, name, rows):
+        self.tables[name] = rows
+
+    def insert(self, name, rows):
+        self.tables[name].extend(rows)

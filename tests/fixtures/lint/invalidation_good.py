@@ -1,0 +1,30 @@
+"""INV001 negative fixture: direct, transitive and dunder paths."""
+
+
+class MiniDatabase:
+    def __init__(self):
+        self.tables = {}
+
+    def invalidate_caches(self):
+        self._plan_cache = {}
+
+    def load_table(self, name, rows):
+        self.tables[name] = rows
+        self.invalidate_caches()
+
+    def apply(self, config):
+        self._apply(config)
+
+    def _apply(self, config):
+        self._built = config
+        self.invalidate_caches()
+
+    def __setstate__(self, state):
+        self.tables = dict(state)
+
+
+class NotADatabase:
+    """Defines no invalidate_caches, so INV001 never applies to it."""
+
+    def load_table(self, name, rows):
+        self.tables = {name: rows}

@@ -1,0 +1,22 @@
+"""LCK001 positive fixture: unguarded shared writes under the pool."""
+
+
+class Service:
+    def __init__(self, session):
+        self._session = session
+        self.hits = 0
+        self.total = 0
+
+    def run(self, items):
+        def work(item):
+            self.hits += 1
+            return item
+
+        return self._session.map_batch(work, items)
+
+    def run_lambda(self, pool, items):
+        return pool.map(lambda item: self._bump(item), items)
+
+    def _bump(self, item):
+        self.total = self.total + 1
+        return item

@@ -1,0 +1,26 @@
+"""LCK001 negative fixture: guarded, thread-local or local writes."""
+
+import threading
+
+
+class Service:
+    def __init__(self, session):
+        self._session = session
+        self._lock = threading.Lock()
+        self._thread_local = threading.local()
+        self.hits = 0
+
+    def run(self, items):
+        def work(item):
+            with self._lock:
+                self.hits += 1
+            self._thread_local.count = item
+            box = Box()
+            box.value = item
+            return box
+
+        return self._session.map_batch(work, items)
+
+
+class Box:
+    value = None

@@ -1,0 +1,12 @@
+"""RNG001 positive fixture: four distinct ambient-entropy violations."""
+
+import random
+import uuid
+import numpy as np
+from numpy.random import default_rng
+
+
+def sample():
+    token = uuid.uuid4()
+    rng = np.random.default_rng(0)
+    return random.random(), default_rng, rng, token

@@ -1,0 +1,8 @@
+"""RNG001 negative fixture: only injected generators and plain numpy."""
+
+import numpy as np
+
+
+def shuffle(values, rng):
+    order = rng.permutation(len(values))
+    return [values[i] for i in order], np.arange(3)

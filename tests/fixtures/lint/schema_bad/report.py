@@ -1,0 +1,9 @@
+"""SCH001 positive fixture: three drifts against schemas.py."""
+
+
+def build_run_report(run):
+    return {
+        "schema": "repro.report/v1",
+        "extra": True,
+        "run": {"seed": run.seed},
+    }

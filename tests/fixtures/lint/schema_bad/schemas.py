@@ -1,0 +1,20 @@
+"""Schema side of the SCH001 positive fixture."""
+
+RUN_REPORT_SCHEMA = {
+    "type": "object",
+    "required": ["schema", "run", "stages"],
+    "properties": {
+        "schema": {"type": "string"},
+        "run": {
+            "type": "object",
+            "required": ["seed"],
+            "properties": {
+                "seed": {"type": "integer"},
+                "scale": {"type": "number"},
+            },
+            "additionalProperties": False,
+        },
+        "stages": {"type": "array"},
+    },
+    "additionalProperties": False,
+}

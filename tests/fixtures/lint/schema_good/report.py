@@ -1,0 +1,9 @@
+"""SCH001 negative fixture: the report and its schema agree."""
+
+
+def build_run_report(run):
+    return {
+        "schema": "repro.report/v1",
+        "run": {"seed": run.seed, "scale": run.scale},
+        "stages": list(run.stages),
+    }

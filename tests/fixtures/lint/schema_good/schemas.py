@@ -1,0 +1,22 @@
+"""Schema side of the SCH001 negative fixture."""
+
+RUN_SCHEMA = {
+    "type": "object",
+    "required": ["seed", "scale"],
+    "properties": {
+        "seed": {"type": "integer"},
+        "scale": {"type": "number"},
+    },
+    "additionalProperties": False,
+}
+
+RUN_REPORT_SCHEMA = {
+    "type": "object",
+    "required": ["schema", "run", "stages"],
+    "properties": {
+        "schema": {"type": "string"},
+        "run": RUN_SCHEMA,
+        "stages": {"type": "array"},
+    },
+    "additionalProperties": False,
+}

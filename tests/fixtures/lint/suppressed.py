@@ -1,0 +1,9 @@
+"""Suppression fixture: real violations, silenced by directives."""
+# repro-lint: disable-file=CLK001
+
+import random  # repro-lint: disable=RNG001
+import time
+
+
+def stamp():
+    return time.time()

@@ -1,0 +1,8 @@
+"""Non-exempt sibling: the same patterns are findings here."""
+
+import numpy as np
+import time
+
+
+def leak(seed):
+    return np.random.default_rng(seed), time.time()

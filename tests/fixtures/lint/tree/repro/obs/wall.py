@@ -1,0 +1,7 @@
+"""Exempt module: the observability layer may read the wall clock."""
+
+import time
+
+
+def wall_time():
+    return time.time()

@@ -1,7 +1,6 @@
 """Batch utilities: masks, takes, weights, code factorization."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

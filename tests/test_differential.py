@@ -9,8 +9,6 @@ All three answers must agree exactly.
 import collections
 import itertools
 
-import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

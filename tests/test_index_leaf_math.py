@@ -1,6 +1,5 @@
 """Remaining index size/geometry math."""
 
-import pytest
 
 from repro.common.hardware import PAGE_SIZE
 from repro.index.definition import (

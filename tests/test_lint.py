@@ -1,0 +1,307 @@
+"""The invariant checker: rules, suppressions, baselines, CLI, and the
+acceptance demonstrations (a dropped ``invalidate_caches`` call or a raw
+``random.random()`` under ``engine/`` must fail the lint run)."""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint import (
+    ALL_RULES,
+    LINT_REPORT_SCHEMA,
+    LINT_REPORT_SCHEMA_ID,
+    load_baseline,
+    run_lint,
+    write_baseline,
+)
+from repro.lint.__main__ import main as lint_main
+from repro.obs.schemas import validate_instance
+from repro.obs.validate import main as validate_main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "lint"
+
+
+def lint(path, *rules, baseline=None):
+    return run_lint(
+        [str(path)],
+        rules=list(rules) or None,
+        baseline_path=baseline,
+        root=str(REPO_ROOT),
+    )
+
+
+# ----------------------------------------------------------------------
+# Per-rule fixtures: every positive file fires, every negative is clean.
+
+
+def test_rng_rule_positive():
+    result = lint(FIXTURES / "rng_bad.py", "RNG001")
+    assert len(result.findings) == 4
+    assert all(f.rule == "RNG001" for f in result.findings)
+    assert all("repro.common.rng" in f.message for f in result.findings)
+
+
+def test_rng_rule_negative():
+    assert lint(FIXTURES / "rng_good.py", "RNG001").ok
+
+
+def test_clock_rule_positive():
+    result = lint(FIXTURES / "clock_bad.py", "CLK001")
+    assert len(result.findings) == 4
+    assert all(f.rule == "CLK001" for f in result.findings)
+    flagged = " ".join(f.message for f in result.findings)
+    assert "time.perf_counter" in flagged
+    assert "datetime.datetime.now" in flagged
+
+
+def test_clock_rule_negative():
+    assert lint(FIXTURES / "clock_good.py", "CLK001").ok
+
+
+def test_invalidation_rule_positive():
+    result = lint(FIXTURES / "invalidation_bad.py", "INV001")
+    messages = [f.message for f in result.findings]
+    assert len(messages) == 2
+    assert any("MiniDatabase.load_table" in m for m in messages)
+    assert any("MiniDatabase.insert" in m for m in messages)
+
+
+def test_invalidation_rule_negative():
+    assert lint(FIXTURES / "invalidation_good.py", "INV001").ok
+
+
+def test_lock_rule_positive():
+    result = lint(FIXTURES / "locks_bad.py", "LCK001")
+    messages = [f.message for f in result.findings]
+    assert len(messages) == 2
+    assert any("self.hits" in m for m in messages)
+    assert any("self.total" in m for m in messages)
+
+
+def test_lock_rule_negative():
+    assert lint(FIXTURES / "locks_good.py", "LCK001").ok
+
+
+def test_exception_rule_positive():
+    result = lint(FIXTURES / "exceptions_bad.py", "EXC001")
+    assert len(result.findings) == 3
+    assert "bare 'except:'" in result.findings[0].message
+    assert all("raise" in f.message for f in result.findings[1:])
+
+
+def test_exception_rule_negative():
+    assert lint(FIXTURES / "exceptions_good.py", "EXC001").ok
+
+
+def test_schema_sync_rule_positive():
+    result = lint(FIXTURES / "schema_bad", "SCH001")
+    rendered = [f.render() for f in result.findings]
+    assert len(rendered) == 3
+    assert any("report.py" in r and "$.extra" in r for r in rendered)
+    assert any("report.py" in r and "$.stages" in r for r in rendered)
+    assert any("schemas.py" in r and "$.run.scale" in r for r in rendered)
+
+
+def test_schema_sync_rule_negative():
+    assert lint(FIXTURES / "schema_good", "SCH001").ok
+
+
+def test_path_exemptions_in_tree():
+    result = lint(FIXTURES / "tree", "RNG001", "CLK001")
+    assert len(result.findings) == 2
+    assert all(f.path.endswith("leak.py") for f in result.findings)
+    assert {f.rule for f in result.findings} == {"RNG001", "CLK001"}
+
+
+# ----------------------------------------------------------------------
+# Suppressions, baselines, parse errors, result shape.
+
+
+def test_suppression_comments_silence_findings():
+    result = lint(FIXTURES / "suppressed.py", "RNG001", "CLK001")
+    assert result.ok
+    assert result.suppressed == 2
+
+
+def test_baseline_round_trip(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    before = lint(FIXTURES / "rng_bad.py", "RNG001")
+    assert write_baseline(before.findings, baseline) == 4
+    after = lint(FIXTURES / "rng_bad.py", "RNG001", baseline=str(baseline))
+    assert after.ok
+    assert after.baselined == 4
+    assert after.stale_baseline_entries == 0
+
+
+def test_baseline_reports_stale_entries(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    write_baseline(lint(FIXTURES / "rng_bad.py", "RNG001").findings, baseline)
+    clean = lint(FIXTURES / "rng_good.py", "RNG001", baseline=str(baseline))
+    assert clean.ok
+    assert clean.baselined == 0
+    assert clean.stale_baseline_entries == 4
+
+
+def test_baseline_survives_json_reload(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    write_baseline(lint(FIXTURES / "rng_bad.py", "RNG001").findings, baseline)
+    keys = load_baseline(baseline)
+    assert sum(keys.values()) == 4
+    assert all(rule == "RNG001" for rule, _, _ in keys)
+
+
+def test_parse_error_is_a_finding_and_not_suppressible(tmp_path):
+    broken = tmp_path / "broken.py"
+    broken.write_text("# repro-lint: disable-file=all\ndef broken(:\n")
+    result = lint(broken)
+    assert len(result.findings) == 1
+    assert result.findings[0].rule == "PARSE"
+    assert not result.ok
+
+
+def test_findings_are_sorted():
+    result = lint(
+        FIXTURES, "RNG001", "CLK001", "INV001", "LCK001", "EXC001"
+    )
+    assert result.findings == sorted(result.findings)
+    assert not result.ok
+
+
+# ----------------------------------------------------------------------
+# The CLI: formats and exit codes.
+
+
+def test_cli_exit_one_and_text_summary(capsys):
+    code = lint_main([str(FIXTURES / "rng_bad.py"), "--rule", "RNG001"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "RNG001" in out
+    assert "4 finding(s) in 1 file(s)" in out
+
+
+def test_cli_exit_zero_on_clean_file(capsys):
+    assert lint_main([str(FIXTURES / "rng_good.py")]) == 0
+    assert "0 finding(s) in 1 file(s)" in capsys.readouterr().out
+
+
+def test_cli_json_output_matches_schema(capsys):
+    code = lint_main([
+        str(FIXTURES / "rng_bad.py"), "--rule", "RNG001",
+        "--format", "json",
+    ])
+    assert code == 1
+    document = json.loads(capsys.readouterr().out)
+    validate_instance(document, LINT_REPORT_SCHEMA)
+    assert document["schema"] == LINT_REPORT_SCHEMA_ID
+    assert document["summary"]["findings"] == 4
+    assert len(document["findings"]) == 4
+    assert document["findings"][0]["rule"] == "RNG001"
+
+
+def test_cli_unknown_rule_exits_two(capsys):
+    assert lint_main([str(FIXTURES / "rng_good.py"), "--rule", "NOPE"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_cli_malformed_baseline_exits_two(tmp_path, capsys):
+    bad = tmp_path / "baseline.json"
+    bad.write_text("not json")
+    code = lint_main([
+        str(FIXTURES / "rng_good.py"), "--baseline", str(bad)
+    ])
+    assert code == 2
+    assert "lint failed" in capsys.readouterr().err
+
+
+def test_cli_write_baseline(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    code = lint_main([
+        str(FIXTURES / "rng_bad.py"), "--rule", "RNG001",
+        "--write-baseline", str(baseline),
+    ])
+    assert code == 0
+    assert sum(load_baseline(baseline).values()) == 4
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for name in ALL_RULES:
+        assert name in out
+
+
+# ----------------------------------------------------------------------
+# Acceptance: src is clean, and the two seeded regressions are caught.
+
+
+def test_module_run_on_src_is_clean():
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", "src", "--format", "json"],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    document = json.loads(proc.stdout)
+    assert document["summary"]["findings"] == 0
+
+
+def test_dropping_an_invalidation_call_fails_lint(tmp_path):
+    tree = tmp_path / "repro"
+    shutil.copytree(REPO_ROOT / "src" / "repro", tree)
+    database = tree / "engine" / "database.py"
+    source = database.read_text()
+    assert "self.invalidate_caches()" in source
+    database.write_text(
+        source.replace("self.invalidate_caches()", "pass", 1)
+    )
+    result = run_lint([str(tree)], root=str(tmp_path))
+    assert not result.ok
+    assert {f.rule for f in result.findings} == {"INV001"}
+    assert any("invalidate_caches" in f.message for f in result.findings)
+
+
+def test_raw_random_under_engine_fails_lint(tmp_path):
+    tree = tmp_path / "repro"
+    shutil.copytree(REPO_ROOT / "src" / "repro", tree)
+    sneaky = tree / "engine" / "sneaky.py"
+    sneaky.write_text("import random\n\nvalue = random.random()\n")
+    result = run_lint([str(tree)], root=str(tmp_path))
+    assert not result.ok
+    assert {f.rule for f in result.findings} == {"RNG001"}
+    assert all(f.path.endswith("engine/sneaky.py")
+               for f in result.findings)
+
+
+# ----------------------------------------------------------------------
+# repro.obs.validate exit codes: schema violation vs unreadable input.
+
+
+def test_validate_exit_zero_on_valid_trace(tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    trace.write_text("")
+    assert validate_main(["--trace", str(trace)]) == 0
+    assert "trace OK" in capsys.readouterr().out
+
+
+def test_validate_exit_one_on_schema_violation(tmp_path, capsys):
+    report = tmp_path / "report.json"
+    report.write_text("{}")
+    assert validate_main(["--report", str(report)]) == 1
+    assert "validation FAILED" in capsys.readouterr().err
+
+
+def test_validate_exit_one_on_undecodable_json(tmp_path, capsys):
+    report = tmp_path / "report.json"
+    report.write_text("{ not json")
+    assert validate_main(["--report", str(report)]) == 1
+    assert "not valid JSON" in capsys.readouterr().err
+
+
+def test_validate_exit_two_on_unreadable_input(tmp_path, capsys):
+    missing = tmp_path / "does-not-exist.json"
+    assert validate_main(["--report", str(missing)]) == 2
+    assert "cannot read input" in capsys.readouterr().err

@@ -12,8 +12,6 @@ from repro.engine.configuration import (
 from repro.workload.sampling import estimated_costs
 from repro.workload.workload import Workload, make_instance
 
-from conftest import load_city_database
-
 
 def small_workload():
     sqls = [

@@ -8,7 +8,6 @@ from repro import obs
 from repro.bench.cli import main
 from repro.obs import (
     SchemaError,
-    TraceRecorder,
     recording,
     validate_run_report,
     validate_trace_record,

@@ -5,7 +5,6 @@ import pytest
 
 from repro.common.errors import PlanError
 from repro.engine.configuration import (
-    Configuration,
     one_column_configuration,
     primary_configuration,
 )
