@@ -1,0 +1,249 @@
+#!/usr/bin/env python3
+"""Perf trajectory of the dictionary-encoded columns (``BENCH_encoding.json``).
+
+Runs the full fig4 pipeline — System A on NREF3J: data generation,
+workload generation (constant-selection ladders), statistics, the 1C
+recommendation, index builds, and the P/1C/R measurements — once with
+the per-database dictionary cache off (``REPRO_DICT_CACHE=0``: every
+consumer re-sorts with its own ``np.unique``) and once with it on
+(shared :class:`~repro.storage.encoding.ColumnDictionary` per (table,
+column); sort-free factorize/join/lexsort paths).  Each mode gets a
+fresh context, so the deltas isolate the encoding layer.  The script
+fails unless the two modes produce byte-identical figure text and
+measured cost curves.
+
+Besides wall time, each mode records how many times ``np.unique``
+actually ran (the sorts the cache exists to eliminate) and the
+``encoding.*`` counters (dictionary builds/hits, reused code arrays).
+
+The output file matches :data:`repro.obs.schemas.BENCH_ENCODING_SCHEMA`
+(prose version in ``docs/performance.md``) and is validated before it
+is written.  CI runs the smoke mode on every push and uploads the file
+as an artifact; the committed ``results/BENCH_encoding.json`` comes
+from a full run (see ``EXPERIMENTS.md`` for the regeneration command).
+
+Usage::
+
+    python benchmarks/bench_perf_encoding.py           # full run (~minutes)
+    python benchmarks/bench_perf_encoding.py --smoke   # CI-sized (~seconds)
+    python benchmarks/bench_perf_encoding.py -o out.json --scale 0.1
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parents[1] / "src"))
+
+import numpy as np                                       # noqa: E402
+
+from repro import obs                                    # noqa: E402
+from repro.bench.context import (                        # noqa: E402
+    BenchContext,
+    BenchSettings,
+)
+from repro.bench.experiments import figure_cfc           # noqa: E402
+from repro.storage.encoding import CACHE_ENV             # noqa: E402
+
+FIGURE = "fig4"
+SYSTEM, FAMILY = "A", "NREF3J"
+
+# Full-mode knobs reproduce the scale the profiling in docs/performance.md
+# was captured at; smoke mode shrinks data and workload until both modes
+# fit in CI seconds while still exercising every dictionary code path.
+FULL = {"scale": 0.15, "workload_size": 100, "seed": 405, "jobs": 1}
+SMOKE = {"scale": 0.05, "workload_size": 10, "seed": 405, "jobs": 1}
+
+_COUNTER_KEYS = {
+    "dict_builds": "encoding.dict_builds",
+    "dict_hits": "encoding.dict_hits",
+    "codes_reused": "encoding.codes_reused",
+}
+
+
+class _UniqueCounter:
+    """Counts ``np.unique`` calls by wrapping the module attribute.
+
+    Every consumer calls it as ``np.unique(...)`` through the shared
+    module object, so swapping the attribute observes all of them —
+    including the dictionary builds themselves, which is the point: the
+    cached mode's count is what the cache could *not* eliminate.
+    """
+
+    def __init__(self):
+        self.calls = 0
+        self._original = None
+
+    def __enter__(self):
+        original = np.unique
+
+        def counting_unique(*args, **kwargs):
+            self.calls += 1
+            return original(*args, **kwargs)
+
+        self._original = original
+        np.unique = counting_unique
+        return self
+
+    def __exit__(self, *exc):
+        np.unique = self._original
+        return False
+
+
+def run_mode(settings, cached):
+    """One timed fig4 pipeline run; returns the mode's metrics block.
+
+    A fresh :class:`BenchContext` per call keeps artifacts and live
+    databases from leaking between modes: the timer covers the whole
+    pipeline (data, workload, stats, recommendation, measurements), the
+    stages the dictionary cache spans.
+    """
+    os.environ[CACHE_ENV] = "1" if cached else "0"
+    try:
+        context = BenchContext(settings)
+        with _UniqueCounter() as uniques:
+            with obs.recording() as recorder:
+                start = time.perf_counter()
+                result = figure_cfc(FIGURE, context)
+                wall = time.perf_counter() - start
+    finally:
+        del os.environ[CACHE_ENV]
+    counters = recorder.metrics.snapshot().get("counters", {})
+    mode = {
+        "wall_seconds": round(wall, 4),
+        "unique_calls": uniques.calls,
+    }
+    for field, counter in _COUNTER_KEYS.items():
+        mode[field] = int(counters.get(counter, 0))
+    mode["figure_fingerprint"] = hashlib.sha256(
+        str(result).encode("utf-8")
+    ).hexdigest()
+    mode["costs_fingerprint"] = hashlib.sha256(
+        json.dumps(result.data, sort_keys=True, default=repr)
+        .encode("utf-8")
+    ).hexdigest()
+    return mode
+
+
+def run_target(settings):
+    """Uncached + cached runs of the fig4 target, with derived ratios."""
+    label = f"{SYSTEM}/{FAMILY}"
+    print(f"[{label}] uncached run (REPRO_DICT_CACHE=0) ...", flush=True)
+    uncached = run_mode(settings, cached=False)
+    print(
+        f"[{label}] uncached: {uncached['wall_seconds']:.2f}s, "
+        f"{uncached['unique_calls']} np.unique calls", flush=True,
+    )
+    print(f"[{label}] cached run (REPRO_DICT_CACHE=1) ...", flush=True)
+    cached = run_mode(settings, cached=True)
+    print(
+        f"[{label}] cached:   {cached['wall_seconds']:.2f}s, "
+        f"{cached['unique_calls']} np.unique calls, "
+        f"{cached['dict_hits']} dict hits", flush=True,
+    )
+    identical = (
+        cached["figure_fingerprint"] == uncached["figure_fingerprint"]
+        and cached["costs_fingerprint"] == uncached["costs_fingerprint"]
+    )
+    return {
+        "target": f"{SYSTEM}/{FAMILY}",
+        "system": SYSTEM,
+        "family": FAMILY,
+        "identical": identical,
+        "speedup": round(
+            uncached["wall_seconds"] / max(cached["wall_seconds"], 1e-9), 3
+        ),
+        "unique_calls_ratio": round(
+            uncached["unique_calls"] / max(cached["unique_calls"], 1), 3
+        ),
+        "cached": cached,
+        "uncached": uncached,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/bench_perf_encoding.py",
+        description="Benchmark the dictionary-encoded column cache "
+                    "(fig4 pipeline, cache on vs off).",
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (tiny scale and workload)")
+    parser.add_argument("-o", "--output", default=None, metavar="FILE",
+                        help="output path "
+                             "(default results/BENCH_encoding.json)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="override the mode's data scale factor")
+    parser.add_argument("--workload-size", type=int, default=None,
+                        help="override the mode's sampled workload size")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the sampling seed")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="override the worker-pool width (both modes)")
+    args = parser.parse_args(argv)
+
+    knobs = dict(SMOKE if args.smoke else FULL)
+    for name in ("scale", "workload_size", "seed", "jobs"):
+        value = getattr(args, name)
+        if value is not None:
+            knobs[name] = value
+    settings = BenchSettings(
+        scale=knobs["scale"],
+        workload_size=knobs["workload_size"],
+        seed=knobs["seed"],
+        jobs=knobs["jobs"],
+    )
+
+    mode = "smoke" if args.smoke else "full"
+    run_id = (
+        f"encoding-{mode}-s{knobs['scale']}-w{knobs['workload_size']}"
+        f"-seed{knobs['seed']}-j{knobs['jobs']}"
+    )
+    print(f"run {run_id}", flush=True)
+    document = {
+        "schema": "repro.bench_encoding/v1",
+        "run": {
+            "id": run_id,
+            "smoke": bool(args.smoke),
+            "scale": knobs["scale"],
+            "workload_size": knobs["workload_size"],
+            "seed": knobs["seed"],
+            "jobs": knobs["jobs"],
+        },
+        "targets": [run_target(settings)],
+    }
+    obs.validate_bench_encoding(document)
+
+    output = pathlib.Path(
+        args.output
+        or pathlib.Path(__file__).parents[1] / "results"
+        / "BENCH_encoding.json"
+    )
+    output.parent.mkdir(parents=True, exist_ok=True)
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {output}")
+
+    failed = False
+    for target in document["targets"]:
+        status = "identical" if target["identical"] else "MISMATCH"
+        print(
+            f"{target['target']}: speedup x{target['speedup']}, "
+            f"np.unique calls x{target['unique_calls_ratio']} fewer, "
+            f"{status}"
+        )
+        failed = failed or not target["identical"]
+    if failed:
+        print("FAILED: cached and uncached fig4 outputs differ",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,8 +24,10 @@ Usage::
 """
 
 import argparse
+import cProfile
 import json
 import pathlib
+import pstats
 import sys
 import time
 
@@ -144,6 +146,9 @@ def main(argv=None):
                         help="override the sampling seed")
     parser.add_argument("--jobs", type=int, default=None,
                         help="override the worker-pool width (both modes)")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile the benchmark runs and print the "
+                             "top 25 functions by cumulative time")
     args = parser.parse_args(argv)
 
     knobs = dict(SMOKE if args.smoke else FULL)
@@ -174,11 +179,18 @@ def main(argv=None):
             "seed": knobs["seed"],
             "jobs": knobs["jobs"],
         },
-        "targets": [
-            run_target(system_name, family, settings)
-            for system_name, family in TARGETS
-        ],
     }
+    profiler = cProfile.Profile() if args.profile else None
+    if profiler is not None:
+        profiler.enable()
+    document["targets"] = [
+        run_target(system_name, family, settings)
+        for system_name, family in TARGETS
+    ]
+    if profiler is not None:
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("cumulative").print_stats(25)
     obs.validate_bench_whatif(document)
 
     output = pathlib.Path(

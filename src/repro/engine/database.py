@@ -60,6 +60,11 @@ from ..optimizer.planner import Planner
 from ..sql.binder import Binder, BoundQuery
 from ..sql.parser import parse
 from ..stats.table_stats import StatisticsCatalog, TableStats
+from ..storage.encoding import (
+    ColumnDictionary,
+    DictionaryCache,
+    dict_cache_enabled,
+)
 from ..storage.table import Table
 from ..views.matview import build_view
 from .configuration import (
@@ -138,6 +143,7 @@ class Database:
         self._whatif_cache = BoundedCache(
             "whatif_cache", self.WHATIF_CACHE_SIZE
         )
+        self._dict_cache = DictionaryCache()
         self._bind_stats = CacheStats("bind_cache")
         self._current_fingerprint = None
 
@@ -148,8 +154,8 @@ class Database:
     def __getstate__(self):
         state = self.__dict__.copy()
         for transient in ("_plan_cache", "_env_cache", "_whatif_cache",
-                          "_bind_stats", "_current_fingerprint",
-                          "_bound_cache"):
+                          "_dict_cache", "_bind_stats",
+                          "_current_fingerprint", "_bound_cache"):
             state.pop(transient, None)
         return state
 
@@ -172,6 +178,7 @@ class Database:
         self._plan_cache.invalidate()
         self._env_cache.invalidate()
         self._whatif_cache.invalidate()
+        self._dict_cache.invalidate()
         self._current_fingerprint = None
 
     @property
@@ -190,8 +197,29 @@ class Database:
             "plan_cache": self._plan_cache.stats.snapshot(),
             "env_cache": self._env_cache.stats.snapshot(),
             "whatif_cache": self._whatif_cache.stats.snapshot(),
+            "dict_cache": self._dict_cache.stats.snapshot(),
             "bind_cache": self._bind_stats.snapshot(),
         }
+
+    def _dict_encodings(self):
+        """The dictionary cache when enabled (``REPRO_DICT_CACHE``), else None.
+
+        Every consumer takes this as its ``encodings`` argument; None
+        routes it to the legacy ``np.unique``/``np.lexsort`` paths.
+        """
+        return self._dict_cache if dict_cache_enabled() else None
+
+    def column_dictionary(self, table_name, column):
+        """The shared :class:`ColumnDictionary` of a loaded table's column.
+
+        This is the entry point the workload generators use for the
+        constant-selection ladders.  With the cache disabled a fresh
+        (uncached) dictionary is built, preserving legacy cost parity.
+        """
+        table = self.table(table_name)
+        if dict_cache_enabled():
+            return self._dict_cache.dictionary(table, column)
+        return ColumnDictionary(table.column(column))
 
     # ------------------------------------------------------------------
     # Loading and statistics
@@ -211,11 +239,14 @@ class Database:
 
     def collect_statistics(self):
         """Collect full statistics for every loaded table (and built view)."""
+        encodings = self._dict_encodings()
         for table in self.tables.values():
-            self.statistics.put(TableStats.collect(table))
+            self.statistics.put(TableStats.collect(table, encodings))
         if self._built is not None:
             for view_table in self._built.view_tables.values():
-                self._view_stats.put(TableStats.collect(view_table))
+                self._view_stats.put(
+                    TableStats.collect(view_table, encodings)
+                )
         self.invalidate_caches()
 
     # ------------------------------------------------------------------
@@ -290,7 +321,10 @@ class Database:
         index_bytes = 0
         for ix in config.indexes:
             target = self._index_target(ix, state)
-            data = IndexData(ix, target, self.system.index_overhead)
+            data = IndexData(
+                ix, target, self.system.index_overhead,
+                encodings=self._dict_encodings(),
+            )
             state.index_data[ix.name] = data
             key_width = sum(
                 target.schema.column(c).width for c in ix.columns
@@ -308,7 +342,9 @@ class Database:
         self._built = state
         self._view_stats = StatisticsCatalog()
         for view_table in state.view_tables.values():
-            self._view_stats.put(TableStats.collect(view_table))
+            self._view_stats.put(
+                TableStats.collect(view_table, self._dict_encodings())
+            )
         self.invalidate_caches()
         return BuildReport(
             configuration=config.name,
@@ -737,7 +773,8 @@ class Database:
         with obs.span("db.execute", database=self.name) as span:
             plan = self.plan(bound)
             executor = Executor(
-                self._exec_tables(), self.system.hardware, timeout
+                self._exec_tables(), self.system.hardware, timeout,
+                encodings=self._dict_encodings(),
             )
             try:
                 outcome = executor.run(plan)
@@ -788,7 +825,8 @@ class Database:
             for ix in self._built.configuration.indexes:
                 if ix.table == table_name:
                     self._built.index_data[ix.name] = IndexData(
-                        ix, table, self.system.index_overhead
+                        ix, table, self.system.index_overhead,
+                        encodings=self._dict_encodings(),
                     )
             for view_def in self._built.configuration.views:
                 if table_name in view_def.tables:
@@ -826,7 +864,9 @@ class Database:
             merged.put(self.statistics.table(name))
         for name, vinfo in view_infos.items():
             if vinfo.data is not None:
-                merged.put(TableStats.collect(vinfo.data))
+                merged.put(
+                    TableStats.collect(vinfo.data, self._dict_encodings())
+                )
         return merged
 
     def _hypothetical_view_size(self, view_def):
@@ -847,6 +887,7 @@ class Database:
             cached = self._view_size_cache.get(view_def.name)
             if cached is None:
                 table = self.table(view_def.tables[0])
+                encodings = self._dict_encodings()
                 arrays = [
                     table.column(vc.column)
                     for vc in view_def.group_columns
@@ -854,9 +895,21 @@ class Database:
                 if table.row_count == 0:
                     distinct = 0
                 elif len(arrays) == 1:
-                    distinct = len(np.unique(arrays[0]))
+                    if encodings is not None:
+                        distinct = encodings.dictionary(
+                            table, view_def.group_columns[0].column
+                        ).n_distinct
+                    else:
+                        distinct = len(np.unique(arrays[0]))
                 else:
-                    order = np.lexsort(tuple(reversed(arrays)))
+                    if encodings is not None:
+                        order = encodings.lexsort(
+                            table,
+                            tuple(vc.column
+                                  for vc in view_def.group_columns),
+                        )
+                    else:
+                        order = np.lexsort(tuple(reversed(arrays)))
                     change = np.zeros(table.row_count, dtype=bool)
                     change[0] = True
                     for arr in arrays:

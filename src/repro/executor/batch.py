@@ -1,8 +1,19 @@
-"""Execution batches: the materialized output of a physical operator."""
+"""Execution batches: the materialized output of a physical operator.
+
+Batches optionally carry per-column *encodings* — lazy references to
+the owning database's cached :class:`~repro.storage.encoding.ColumnDictionary`
+objects.  When present, :func:`factorize` and :func:`join_codes` skip
+the ``np.unique`` full sort and derive dense codes from the cached
+sorted dictionary instead (``searchsorted`` + a presence scan), with
+byte-identical results.  Columns without an encoding (aggregate
+outputs, derived labels) always take the legacy sort path.
+"""
 
 from dataclasses import dataclass, field
 
 import numpy as np
+
+_INT64_MAX = np.iinfo(np.int64).max
 
 
 @dataclass
@@ -12,12 +23,17 @@ class Batch:
     ``columns`` maps batch keys (``"alias.column"`` or output labels) to
     arrays of equal length.  ``weights`` (optional) carries the row
     multiplicity introduced by pre-aggregated view rewrites; ``widths``
-    tracks per-key byte widths for spill accounting.
+    tracks per-key byte widths for spill accounting.  ``encodings``
+    (optional) maps a subset of batch keys to dictionary handles for
+    sort-free factorization; an entry is only valid while the column's
+    values remain drawn from the encoded base column, which every
+    subsetting operation (mask/take) preserves.
     """
 
     columns: dict
     widths: dict = field(default_factory=dict)
     weights: np.ndarray = None
+    encodings: dict = field(default_factory=dict)
 
     @property
     def rows(self):
@@ -35,6 +51,7 @@ class Batch:
             columns={k: v[keep] for k, v in self.columns.items()},
             widths=dict(self.widths),
             weights=None if self.weights is None else self.weights[keep],
+            encodings=dict(self.encodings),
         )
 
     def take(self, positions):
@@ -43,6 +60,7 @@ class Batch:
             columns={k: v[positions] for k, v in self.columns.items()},
             widths=dict(self.widths),
             weights=None if self.weights is None else self.weights[positions],
+            encodings=dict(self.encodings),
         )
 
     def weight_array(self):
@@ -52,8 +70,73 @@ class Batch:
         return self.weights.astype(np.float64)
 
 
-def factorize(values):
-    """Dense integer codes for an array (group/join key encoding)."""
+def _resolve_encoding(encoding):
+    """The :class:`ColumnDictionary` behind an encoding, or ``None``.
+
+    Accepts a lazy :class:`~repro.storage.encoding.ColumnHandle` (the
+    usual batch payload), an already-resolved dictionary, or ``None``.
+    """
+    if encoding is None:
+        return None
+    resolve = getattr(encoding, "dictionary", None)
+    if callable(resolve):
+        return resolve()
+    return encoding
+
+
+def _densify_dict_codes(codes, domain_size):
+    """Dense ranks of dictionary-domain codes.
+
+    ``codes`` index into a sorted dictionary of ``domain_size`` values;
+    the dense rank of a row is the number of *present* dictionary
+    values at or below its own — exactly the inverse that
+    ``np.unique(values, return_inverse=True)`` assigns, computed with a
+    presence scan instead of a sort.
+    """
+    present = np.zeros(domain_size, dtype=bool)
+    present[codes] = True
+    remap = np.cumsum(present) - 1
+    return remap[codes].astype(np.int64)
+
+
+# Presence arrays beyond this many slots stop paying for themselves;
+# fall back to the sorting path instead of allocating them.
+_DENSIFY_PRESENCE_CAP = 1 << 23
+
+
+def _densify_ints(codes):
+    """Dense ranks of a non-negative int array (``== factorize``).
+
+    Sort-free (presence scan) while the value range stays small
+    relative to the array; otherwise the ``np.unique`` path.  Both
+    assign ranks in ascending value order, so the output is identical.
+    """
+    if not len(codes):
+        return codes.astype(np.int64)
+    top = int(codes.max())
+    if top < min(max(65536, 4 * len(codes)), _DENSIFY_PRESENCE_CAP):
+        return _densify_dict_codes(codes, top + 1)
+    _, dense = np.unique(codes, return_inverse=True)
+    return dense.astype(np.int64)
+
+
+def factorize(values, encoding=None):
+    """Dense integer codes for an array (group/join key encoding).
+
+    With an ``encoding`` whose dictionary covers ``values`` (the base
+    column itself or any subset of it), codes come from the cached
+    dictionary: the base column's pre-computed dense codes directly, a
+    subset via ``searchsorted`` into the sorted dictionary plus a
+    presence-scan densification.  Without one, ``np.unique`` as before.
+    Both paths produce the identical array.
+    """
+    dictionary = _resolve_encoding(encoding)
+    if dictionary is not None:
+        if values is dictionary.base:
+            return dictionary.encode(values)  # the cached dense codes
+        return _densify_dict_codes(
+            dictionary.encode(values), dictionary.n_distinct
+        )
     _, codes = np.unique(values, return_inverse=True)
     return codes.astype(np.int64)
 
@@ -65,23 +148,75 @@ def combine_codes(code_arrays):
     combined = code_arrays[0].copy()
     for codes in code_arrays[1:]:
         span = int(codes.max()) + 1 if len(codes) else 1
+        cmax = int(combined.max()) if len(combined) else 0
+        if span > 1 and cmax > (_INT64_MAX - (span - 1)) // span:
+            # combined * span + codes would wrap int64 (three dense key
+            # columns at a few million rows each already exceed 2**63).
+            # Re-densifying caps the magnitude at the row count, after
+            # which the product fits again.
+            combined = _densify_ints(combined)
         combined = combined * span + codes
     # Re-densify to keep magnitudes bounded for further combining.
-    return factorize(combined)
+    return _densify_ints(combined)
 
 
-def join_codes(left_arrays, right_arrays):
+def _join_pair_codes(left, right, left_encoding, right_encoding):
+    """Sort-free joint codes for one join-key column pair, or ``None``.
+
+    Both sides must carry an encoding.  Their dictionaries (one shared
+    dictionary for a self-join, otherwise the ``union1d`` of the two
+    sorted value sets) define a merged sorted domain; each side maps in
+    through its own cached codes, and one presence scan over the merged
+    domain assigns the same dense ranks the legacy concatenate-and-sort
+    path would.
+    """
+    left_dict = _resolve_encoding(left_encoding)
+    right_dict = _resolve_encoding(right_encoding)
+    if left_dict is None or right_dict is None:
+        return None
+    if left_dict is right_dict:
+        domain = left_dict.n_distinct
+        left_codes = left_dict.encode(left)
+        right_codes = right_dict.encode(right)
+    else:
+        merged = np.union1d(left_dict.values, right_dict.values)
+        domain = len(merged)
+        left_map = np.searchsorted(merged, left_dict.values)
+        right_map = np.searchsorted(merged, right_dict.values)
+        left_codes = left_map[left_dict.encode(left)]
+        right_codes = right_map[right_dict.encode(right)]
+    present = np.zeros(domain, dtype=bool)
+    present[left_codes] = True
+    present[right_codes] = True
+    remap = np.cumsum(present) - 1
+    return (
+        remap[left_codes].astype(np.int64),
+        remap[right_codes].astype(np.int64),
+    )
+
+
+def join_codes(left_arrays, right_arrays,
+               left_encodings=None, right_encodings=None):
     """Comparable integer codes for join keys across two batches.
 
     Columns are factorized jointly so equal values on either side get the
-    same code.
+    same code.  Key columns encoded on *both* sides take the sort-free
+    merged-dictionary path; any other column is concatenated and
+    factorized as before.  The codes are identical either way.
     """
     left_codes, right_codes = [], []
-    for larr, rarr in zip(left_arrays, right_arrays):
-        both = np.concatenate([larr, rarr])
-        codes = factorize(both)
-        left_codes.append(codes[: len(larr)])
-        right_codes.append(codes[len(larr):])
+    for position, (larr, rarr) in enumerate(zip(left_arrays, right_arrays)):
+        pair = _join_pair_codes(
+            larr, rarr,
+            left_encodings[position] if left_encodings else None,
+            right_encodings[position] if right_encodings else None,
+        )
+        if pair is None:
+            both = np.concatenate([larr, rarr])
+            codes = factorize(both)
+            pair = codes[: len(larr)], codes[len(larr):]
+        left_codes.append(pair[0])
+        right_codes.append(pair[1])
     if len(left_codes) == 1:
         return left_codes[0], right_codes[0]
     combined = combine_codes(

@@ -63,10 +63,14 @@ class ExecutionResult:
 class Executor:
     """Executes plans over built tables, indexes, and views."""
 
-    def __init__(self, tables, hardware, timeout=None):
+    def __init__(self, tables, hardware, timeout=None, encodings=None):
         self._tables = tables
         self._hw = hardware
         self._timeout = timeout
+        # Optional DictionaryCache: scans attach lazy per-column
+        # dictionary handles to their batches so factorize/join_codes
+        # can take the sort-free paths.  None = legacy behaviour.
+        self._encodings = encodings
 
     def run(self, plan):
         """Execute a plan; returns an :class:`ExecutionResult`.
@@ -102,6 +106,10 @@ class Executor:
                 columns={k: child.columns[k] for k in node.keys},
                 widths={k: child.widths[k] for k in node.keys},
                 weights=child.weights,
+                encodings={
+                    k: child.encodings[k]
+                    for k in node.keys if k in child.encodings
+                },
             )
         raise ExecutionError(f"no executor for node {type(node).__name__}")
 
@@ -123,7 +131,17 @@ class Executor:
                 f"{alias}.{c}": table.column(c) for c in columns
             },
             widths=widths,
+            encodings=self._column_handles(alias, table, columns),
         )
+
+    def _column_handles(self, alias, table, columns):
+        """Lazy dictionary handles for base-table columns (or empty)."""
+        if self._encodings is None:
+            return {}
+        return {
+            f"{alias}.{c}": self._encodings.handle(table, c)
+            for c in columns
+        }
 
     def _apply_filters(self, batch, filters, clock):
         if not filters:
@@ -164,8 +182,14 @@ class Executor:
             values, counts = np.unique(keys, return_counts=True)
         else:
             table = self._table(semi.sub_table)
-            column = table.column(semi.sub_column)
-            values, counts = np.unique(column, return_counts=True)
+            if self._encodings is not None:
+                dictionary = self._encodings.dictionary(
+                    table, semi.sub_column
+                )
+                values, counts = dictionary.values, dictionary.counts
+            else:
+                column = table.column(semi.sub_column)
+                values, counts = np.unique(column, return_counts=True)
             clock.charge(
                 cm.seq_scan(self._hw, table.page_count(), table.row_count)
                 + cm.hash_aggregate(
@@ -230,6 +254,9 @@ class Executor:
                     f"{node.alias}.{c}": columns[c] for c in node.columns
                 },
                 widths=widths,
+                encodings=self._column_handles(
+                    node.alias, table, node.columns
+                ),
             )
         else:
             # Covering full index-only scan.
@@ -280,6 +307,7 @@ class Executor:
                 f"{node.alias}.{c}": columns[c] for c in node.columns
             },
             widths=widths,
+            encodings=self._column_handles(node.alias, table, node.columns),
         )
         batch = self._apply_filters(batch, node.residual_filters, clock)
         batch = self._apply_semis(batch, node.semi_filters, clock)
@@ -296,12 +324,19 @@ class Executor:
         obs.counter_add("engine.rows_scanned", view.rows)
         obs.counter_add("engine.pages_read", view.page_count)
         schema = table.schema
-        columns, widths = {}, {}
+        columns, widths, encodings = {}, {}, {}
         for batch_key, view_col in node.column_map.items():
             columns[batch_key] = table.column(view_col)
             widths[batch_key] = schema.column(view_col).width
+            if self._encodings is not None:
+                encodings[batch_key] = self._encodings.handle(
+                    table, view_col
+                )
         weights = table.column(COUNT_COLUMN).astype(np.float64)
-        batch = Batch(columns=columns, widths=widths, weights=weights)
+        batch = Batch(
+            columns=columns, widths=widths, weights=weights,
+            encodings=encodings,
+        )
         if node.filters:
             clock.charge(
                 cm.filter_rows(self._hw, batch.rows, len(node.filters))
@@ -326,6 +361,12 @@ class Executor:
         lcodes, rcodes = join_codes(
             [left.columns[k] for k in node.left_keys],
             [right.columns[k] for k in node.right_keys],
+            left_encodings=[
+                left.encodings.get(k) for k in node.left_keys
+            ],
+            right_encodings=[
+                right.encodings.get(k) for k in node.right_keys
+            ],
         )
         order = np.argsort(rcodes, kind="stable")
         sorted_codes = rcodes[order]
@@ -354,10 +395,15 @@ class Executor:
         columns.update(rbatch.columns)
         widths = dict(lbatch.widths)
         widths.update(rbatch.widths)
+        encodings = dict(lbatch.encodings)
+        encodings.update(rbatch.encodings)
         weights = None
         if left.weights is not None or right.weights is not None:
             weights = lbatch.weight_array() * rbatch.weight_array()
-        return Batch(columns=columns, widths=widths, weights=weights)
+        return Batch(
+            columns=columns, widths=widths, weights=weights,
+            encodings=encodings,
+        )
 
     def _inl_join(self, node, clock):
         outer = self._exec(node.outer, clock)
@@ -399,10 +445,17 @@ class Executor:
         inner_cols = table.take(row_ids, node.columns)
         columns = dict(obatch.columns)
         widths = dict(obatch.widths)
+        encodings = dict(obatch.encodings)
+        encodings.update(
+            self._column_handles(node.alias, table, node.columns)
+        )
         for col in node.columns:
             columns[f"{node.alias}.{col}"] = inner_cols[col]
             widths[f"{node.alias}.{col}"] = table.schema.column(col).width
-        batch = Batch(columns=columns, widths=widths, weights=obatch.weights)
+        batch = Batch(
+            columns=columns, widths=widths, weights=obatch.weights,
+            encodings=encodings,
+        )
 
         extra = getattr(node, "extra_preds", [])
         if extra:
@@ -427,7 +480,10 @@ class Executor:
 
         if node.group_keys:
             codes = combine_codes(
-                [factorize(child.columns[k]) for k in node.group_keys]
+                [
+                    factorize(child.columns[k], child.encodings.get(k))
+                    for k in node.group_keys
+                ]
             )
             n_groups = int(codes.max()) + 1 if rows else 0
         else:
@@ -463,7 +519,8 @@ class Executor:
                 columns[label] = np.round(values).astype(np.int64)
             elif agg.func == "count" and agg.distinct:
                 columns[label] = self._count_distinct(
-                    codes, child.columns[str(agg.arg)], n_groups
+                    codes, child.columns[str(agg.arg)], n_groups,
+                    child.encodings.get(str(agg.arg)),
                 )
             elif agg.func in ("sum", "avg"):
                 arg = child.columns[str(agg.arg)].astype(np.float64)
@@ -484,13 +541,19 @@ class Executor:
             else:
                 raise ExecutionError(f"unsupported aggregate {agg.func!r}")
             widths[label] = 8
-        return Batch(columns=columns, widths=widths)
+        return Batch(
+            columns=columns, widths=widths,
+            encodings={
+                k: child.encodings[k]
+                for k in node.group_keys if k in child.encodings
+            },
+        )
 
     @staticmethod
-    def _count_distinct(codes, values, n_groups):
+    def _count_distinct(codes, values, n_groups, encoding=None):
         if len(codes) == 0:
             return np.empty(0, dtype=np.int64)
-        vcodes = factorize(values)
+        vcodes = factorize(values, encoding)
         span = int(vcodes.max()) + 1
         pairs = np.unique(codes * span + vcodes)
         group_of_pair = pairs // span

@@ -48,15 +48,25 @@ def gather_ranges(values, lows, highs):
 class IndexData:
     """A built secondary index over a table's columns."""
 
-    def __init__(self, definition, table, overhead_factor=1.0):
+    def __init__(self, definition, table, overhead_factor=1.0,
+                 encodings=None):
         self.definition = definition
         self._overhead_factor = overhead_factor
         self._tree = None
-        self._build(table)
+        self._build(table, encodings)
 
-    def _build(self, table):
+    def _build(self, table, encodings=None):
         key_arrays = [table.column(c) for c in self.definition.columns]
-        order = np.lexsort(tuple(reversed(key_arrays)))
+        if encodings is not None:
+            # Cached-dictionary lexsort: seeds from the cached
+            # single-column argsorts and memoizes suffix orders, so
+            # indexes sharing key columns share the sorts.  The
+            # permutation is identical to np.lexsort's.
+            order = encodings.lexsort(
+                table, tuple(self.definition.columns)
+            )
+        else:
+            order = np.lexsort(tuple(reversed(key_arrays)))
         self.row_ids = order.astype(np.int64)
         self.key_columns = [arr[order] for arr in key_arrays]
         self.entry_count = len(order)

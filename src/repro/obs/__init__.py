@@ -48,11 +48,13 @@ from .report import (
     write_report,
 )
 from .schemas import (
+    BENCH_ENCODING_SCHEMA,
     BENCH_WHATIF_SCHEMA,
     EVENT_RECORD_SCHEMA,
     RUN_REPORT_SCHEMA,
     SPAN_RECORD_SCHEMA,
     SchemaError,
+    validate_bench_encoding,
     validate_bench_whatif,
     validate_run_report,
     validate_trace_record,
@@ -60,6 +62,7 @@ from .schemas import (
 from .spans import Span
 
 __all__ = [
+    "BENCH_ENCODING_SCHEMA",
     "BENCH_WHATIF_SCHEMA",
     "EVENT_RECORD_SCHEMA",
     "MetricsRegistry",
@@ -83,6 +86,7 @@ __all__ = [
     "render_metrics",
     "render_text",
     "span",
+    "validate_bench_encoding",
     "validate_bench_whatif",
     "validate_run_report",
     "validate_trace_record",

@@ -152,6 +152,9 @@ def render_text(report):
         whatif = caches.get("whatif_cache")
         if whatif and whatif["hits"] + whatif["misses"]:
             line += f", what-if cache rate {whatif['hit_rate']:.2f}"
+        dictionary = caches.get("dict_cache")
+        if dictionary and dictionary["hits"] + dictionary["misses"]:
+            line += f", dict cache rate {dictionary['hit_rate']:.2f}"
         lines.append(line)
     return "\n".join(lines)
 

@@ -297,3 +297,74 @@ BENCH_WHATIF_SCHEMA = {
 def validate_bench_whatif(document, path="$"):
     """Validate a decoded ``BENCH_whatif.json`` document."""
     return validate_instance(document, BENCH_WHATIF_SCHEMA, path)
+
+
+# ----------------------------------------------------------------------
+# Column-dictionary perf benchmark (BENCH_encoding.json, written by
+# benchmarks/bench_perf_encoding.py; prose version in
+# docs/performance.md).
+
+_ENCODING_MODE_SCHEMA = {
+    "type": "object",
+    "required": ["wall_seconds", "unique_calls", "dict_builds",
+                 "dict_hits", "codes_reused", "figure_fingerprint",
+                 "costs_fingerprint"],
+    "properties": {
+        "wall_seconds": {"type": "number", "minimum": 0},
+        "unique_calls": {"type": "integer", "minimum": 0},
+        "dict_builds": {"type": "integer", "minimum": 0},
+        "dict_hits": {"type": "integer", "minimum": 0},
+        "codes_reused": {"type": "integer", "minimum": 0},
+        "figure_fingerprint": {"type": "string"},
+        "costs_fingerprint": {"type": "string"},
+    },
+    "additionalProperties": False,
+}
+
+BENCH_ENCODING_SCHEMA = {
+    "type": "object",
+    "required": ["schema", "run", "targets"],
+    "properties": {
+        "schema": {"enum": ["repro.bench_encoding/v1"]},
+        "run": {
+            "type": "object",
+            "required": ["id", "smoke", "scale", "workload_size", "seed",
+                         "jobs"],
+            "properties": {
+                "id": {"type": "string"},
+                "smoke": {"type": "boolean"},
+                "scale": {"type": "number"},
+                "workload_size": {"type": "integer", "minimum": 1},
+                "seed": {"type": "integer"},
+                "jobs": {"type": "integer", "minimum": 1},
+            },
+            "additionalProperties": False,
+        },
+        "targets": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["target", "system", "family", "identical",
+                             "speedup", "unique_calls_ratio", "cached",
+                             "uncached"],
+                "properties": {
+                    "target": {"type": "string"},
+                    "system": {"type": "string"},
+                    "family": {"type": "string"},
+                    "identical": {"type": "boolean"},
+                    "speedup": {"type": "number", "minimum": 0},
+                    "unique_calls_ratio": {"type": "number", "minimum": 0},
+                    "cached": _ENCODING_MODE_SCHEMA,
+                    "uncached": _ENCODING_MODE_SCHEMA,
+                },
+                "additionalProperties": False,
+            },
+        },
+    },
+    "additionalProperties": False,
+}
+
+
+def validate_bench_encoding(document, path="$"):
+    """Validate a decoded ``BENCH_encoding.json`` document."""
+    return validate_instance(document, BENCH_ENCODING_SCHEMA, path)

@@ -20,6 +20,7 @@ import sys
 
 from .schemas import (
     SchemaError,
+    validate_bench_encoding,
     validate_bench_whatif,
     validate_run_report,
     validate_trace_record,
@@ -101,6 +102,28 @@ def validate_bench_file(path):
     return document
 
 
+def validate_bench_encoding_file(path):
+    """Validate a ``BENCH_encoding.json`` perf-trajectory file.
+
+    Args:
+        path: benchmark file written by
+            ``benchmarks/bench_perf_encoding.py``.
+
+    Returns:
+        The decoded (and valid) benchmark dict.
+
+    Raises:
+        SchemaError: when the document violates the benchmark schema.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as err:
+            raise SchemaError(f"{path}: not valid JSON ({err})") from None
+    validate_bench_encoding(document, path=path)
+    return document
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.validate",
@@ -112,11 +135,14 @@ def main(argv=None):
                         help="run report JSON file to validate")
     parser.add_argument("--bench-whatif", default=None, metavar="FILE",
                         help="BENCH_whatif.json perf benchmark to validate")
+    parser.add_argument("--bench-encoding", default=None, metavar="FILE",
+                        help="BENCH_encoding.json perf benchmark to "
+                             "validate")
     args = parser.parse_args(argv)
     if args.trace is None and args.report is None \
-            and args.bench_whatif is None:
-        parser.error("nothing to validate: pass --trace, --report "
-                     "and/or --bench-whatif")
+            and args.bench_whatif is None and args.bench_encoding is None:
+        parser.error("nothing to validate: pass --trace, --report, "
+                     "--bench-whatif and/or --bench-encoding")
     try:
         if args.trace is not None:
             spans, events = validate_trace_file(args.trace)
@@ -131,6 +157,10 @@ def main(argv=None):
             document = validate_bench_file(args.bench_whatif)
             print(f"bench OK: {len(document['targets'])} targets "
                   f"({args.bench_whatif})")
+        if args.bench_encoding is not None:
+            document = validate_bench_encoding_file(args.bench_encoding)
+            print(f"bench OK: {len(document['targets'])} targets "
+                  f"({args.bench_encoding})")
     except SchemaError as err:
         print(f"validation FAILED: {err}", file=sys.stderr)
         return 1

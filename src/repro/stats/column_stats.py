@@ -30,22 +30,32 @@ class ColumnStats:
     freq_row_cumfrac: np.ndarray = None   # P[row's value freq <= freq_values[i]]
 
     @classmethod
-    def collect(cls, column_name, values):
-        """Compute full statistics over a storage array."""
+    def collect(cls, column_name, values, dictionary=None):
+        """Compute full statistics over a storage array.
+
+        With a cached :class:`~repro.storage.encoding.ColumnDictionary`
+        for this exact array, the distinct values, counts, and
+        frequency histogram are read off the dictionary instead of
+        re-sorting the column — the results are identical.
+        """
         values = np.asarray(values)
         row_count = len(values)
         if row_count == 0:
             return cls(column_name, 0, 0,
                        freq_values=np.array([], dtype=np.int64),
                        freq_row_cumfrac=np.array([], dtype=np.float64))
-        uniques, counts = np.unique(values, return_counts=True)
+        if dictionary is not None and dictionary.base is values:
+            uniques, counts = dictionary.values, dictionary.counts
+            freq_values, freq_of_freq = dictionary.frequency_histogram()
+        else:
+            uniques, counts = np.unique(values, return_counts=True)
+            freq_values, freq_of_freq = np.unique(counts, return_counts=True)
         n_distinct = len(uniques)
 
         top = np.argsort(counts)[::-1][:MCV_LIST_SIZE]
         mcv_values = [uniques[i] for i in top]
         mcv_fractions = [counts[i] / row_count for i in top]
 
-        freq_values, freq_of_freq = np.unique(counts, return_counts=True)
         rows_at_freq = freq_values * freq_of_freq
         freq_row_cumfrac = np.cumsum(rows_at_freq) / row_count
 

@@ -17,10 +17,20 @@ class TableStats:
     columns: dict = field(default_factory=dict)
 
     @classmethod
-    def collect(cls, table):
-        """Collect full statistics over a :class:`~repro.storage.table.Table`."""
+    def collect(cls, table, encodings=None):
+        """Collect full statistics over a :class:`~repro.storage.table.Table`.
+
+        ``encodings`` (an optional
+        :class:`~repro.storage.encoding.DictionaryCache`) lets each
+        column's statistics be read off the shared column dictionary.
+        """
         columns = {
-            name: ColumnStats.collect(name, table.column(name))
+            name: ColumnStats.collect(
+                name,
+                table.column(name),
+                encodings.dictionary(table, name)
+                if encodings is not None else None,
+            )
             for name in table.column_names()
         }
         return cls(

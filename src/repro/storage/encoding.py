@@ -1,0 +1,360 @@
+"""Dictionary-encoded columns: shared value/frequency statistics.
+
+Every stage of the benchmark pipeline needs per-column *value
+information*: the constant-selection ladders re-derive value/frequency
+pairs per template instantiation, the executor factorizes join and
+group keys per query, statistics collection counts distinct values per
+column, and index builds sort the same columns again.  Before this
+module each consumer called ``np.unique`` independently — a full sort
+of the column every time, which profiling shows dominating the fig4
+pipeline.
+
+A :class:`ColumnDictionary` computes a column's dictionary **once**:
+the sorted unique values, their frequency counts, and (lazily) the
+dense per-row int64 codes and the column's stable argsort.  A
+:class:`DictionaryCache`, owned by a
+:class:`~repro.engine.database.Database` and invalidated through its
+``invalidate_caches`` path, shares one dictionary per ``(table,
+column)`` across all four consumers:
+
+* :mod:`repro.workload.constants` serves ``value_frequencies`` and the
+  selectivity/frequency ladders from the cached dictionary;
+* :mod:`repro.executor.batch` factorizes batches sort-free by mapping
+  values through the cached sorted dictionary (``searchsorted``)
+  instead of re-sorting every intermediate;
+* :mod:`repro.stats.column_stats` reads distinct counts and frequency
+  histograms straight off the dictionary;
+* :mod:`repro.index.data` seeds its lexsorts with cached per-column
+  codes and argsorts (shared between indexes keyed on the same
+  columns).
+
+The layer is a pure optimization: every consumer produces
+**byte-identical** output with the cache on or off
+(``REPRO_DICT_CACHE=0`` disables it; CI asserts fig4 byte-identity in
+both modes).
+
+Consistency: a dictionary is valid exactly as long as its base storage
+array is.  :meth:`DictionaryCache.dictionary` verifies *array
+identity* on every lookup — an entry whose base array is no longer the
+table's current storage array (``append_rows`` concatenates into a new
+array; a rebuilt view is a new ``Table``) is rebuilt, never served.
+:meth:`DictionaryCache.invalidate`, called from
+``Database.invalidate_caches`` on every state transition, sweeps out
+entries that fail that identity check; entries for untouched base
+tables survive, which is what lets one dictionary serve workload
+generation, every query, and every index build across configuration
+changes.
+"""
+
+import os
+import threading
+
+import numpy as np
+
+from .. import obs
+
+CACHE_ENV = "REPRO_DICT_CACHE"
+
+
+def dict_cache_enabled(flag=None):
+    """Whether the dictionary cache is on: argument, else ``REPRO_DICT_CACHE``.
+
+    Any value other than ``"0"``, ``"false"``, ``"no"`` or ``"off"``
+    (case-insensitive) enables it; the default — no environment
+    variable at all — is enabled.
+    """
+    if flag is not None:
+        return bool(flag)
+    value = os.environ.get(CACHE_ENV, "1").strip().lower()
+    return value not in ("0", "false", "no", "off")
+
+
+class ColumnDictionary:
+    """The dictionary of one column: sorted uniques, counts, codes.
+
+    Attributes:
+        base: the storage array the dictionary was built from (held so
+            validity can be checked by identity).
+        values: sorted unique values (``np.unique`` order).
+        counts: occurrence count of each unique value.
+
+    Per-row codes, the stable argsort, and the frequency-ordered views
+    are derived lazily — most consumers need only a subset, and the
+    lazy attributes are computed from immutable inputs, so a racing
+    double-compute in a session worker pool is deterministic and
+    harmless (the same last-writer-wins convention as
+    :meth:`~repro.runtime.cache.BoundedCache.get_or_build`).
+    """
+
+    __slots__ = (
+        "base", "values", "counts",
+        "_codes", "_argsort", "_freq_order",
+        "_freq_counts_f64", "_freq_histogram",
+    )
+
+    def __init__(self, values):
+        self.base = np.asarray(values)
+        self.values, self.counts = np.unique(self.base, return_counts=True)
+        self._codes = None
+        self._argsort = None
+        self._freq_order = None
+        self._freq_counts_f64 = None
+        self._freq_histogram = None
+
+    @property
+    def n_distinct(self):
+        """Number of distinct values in the column."""
+        return len(self.values)
+
+    @property
+    def row_count(self):
+        """Number of rows in the base column."""
+        return len(self.base)
+
+    @property
+    def codes(self):
+        """Dense int64 code of every base row (``values[codes] == base``).
+
+        Identical to ``np.unique(base, return_inverse=True)``'s inverse:
+        codes are ranks into the sorted dictionary, and every dictionary
+        value occurs in the base column, so the codes are dense.
+        """
+        if self._codes is None:
+            self._codes = np.searchsorted(
+                self.values, self.base
+            ).astype(np.int64)
+        return self._codes
+
+    def argsort(self):
+        """Stable argsort of the base column (cached).
+
+        Identical to ``np.lexsort((base,))``: codes are
+        order-isomorphic to values, and stable sorts are unique, so
+        sorting the int64 codes yields the same permutation as sorting
+        the raw (possibly string) array — usually much faster.
+        """
+        if self._argsort is None:
+            self._argsort = np.argsort(
+                self.codes, kind="stable"
+            ).astype(np.int64)
+        return self._argsort
+
+    def encode(self, values):
+        """Dictionary codes of ``values`` (must be drawn from the base column).
+
+        The base column's own array is answered from the cached dense
+        codes; any other array — a filtered or gathered subset — is
+        mapped through the sorted dictionary with one ``searchsorted``
+        (``O(n log d)``; no re-sort of the batch).
+        """
+        if values is self.base:
+            obs.counter_add("encoding.codes_reused")
+            return self.codes
+        return np.searchsorted(self.values, values)
+
+    def by_frequency(self):
+        """``(values, counts)`` sorted by ascending frequency (cached).
+
+        Byte-identical to
+        :func:`repro.workload.constants.value_frequencies` on the base
+        column (stable sort by count).
+        """
+        if self._freq_order is None:
+            self._freq_order = np.argsort(self.counts, kind="stable")
+        order = self._freq_order
+        return self.values[order], self.counts[order]
+
+    def by_frequency_counts_f64(self):
+        """Frequency-ordered counts pre-cast to float64 (cached).
+
+        The selectivity ladder's distance computation re-cast the counts
+        on every call; the cast is hoisted here.
+        """
+        if self._freq_counts_f64 is None:
+            _, counts = self.by_frequency()
+            self._freq_counts_f64 = counts.astype(np.float64)
+        return self._freq_counts_f64
+
+    def frequency_histogram(self):
+        """``(freq_values, freq_of_freq)``: the frequency-of-frequency profile.
+
+        ``np.unique(counts, return_counts=True)`` — shared by column
+        statistics (the frequency profile behind ``HAVING COUNT(*)``
+        selectivity) and the frequency ladder.
+        """
+        if self._freq_histogram is None:
+            self._freq_histogram = np.unique(
+                self.counts, return_counts=True
+            )
+        return self._freq_histogram
+
+
+class ColumnHandle:
+    """Lazy tie between a batch column and its table column's dictionary.
+
+    Execution batches carry these under ``Batch.encodings``: the
+    dictionary is only resolved (and built) when a consumer actually
+    needs codes, so scanning a column never pays for a dictionary the
+    query never factorizes.  Handles stay valid through every
+    subsetting operation (mask/take/join/group) because a subset of a
+    base column is still drawn from its dictionary's domain.
+    """
+
+    __slots__ = ("cache", "table", "column")
+
+    def __init__(self, cache, table, column):
+        self.cache = cache
+        self.table = table
+        self.column = column
+
+    def dictionary(self):
+        """Resolve (building or fetching) the column's dictionary."""
+        return self.cache.dictionary(self.table, self.column)
+
+
+class DictionaryCache:
+    """Per-database cache of :class:`ColumnDictionary` objects.
+
+    Entries are keyed by ``(table name, column name)`` and validated by
+    base-array identity on every access, so a stale entry (the table
+    was reloaded, rows were appended, a view was rebuilt under the same
+    name) can never be served.  Owned by
+    :class:`~repro.engine.database.Database`;
+    :meth:`invalidate` is wired into ``Database.invalidate_caches`` so
+    the INV001 lint contract (every mutator reaches the invalidator)
+    covers this cache like every other derived result.
+    """
+
+    def __init__(self):
+        # Deferred import: repro.catalog.schema imports repro.storage at
+        # interpreter start, and repro.runtime's package init reaches
+        # back through repro.engine — a module-level import here would
+        # close that cycle before catalog.schema finishes loading.
+        from ..runtime.cache import CacheStats
+
+        self.stats = CacheStats("dict_cache")
+        self._lock = threading.Lock()
+        # (table name, column) -> (Table, ColumnDictionary)
+        self._entries = {}
+        # (table name, columns tuple) -> (Table, key arrays tuple, order)
+        self._orders = {}
+
+    def dictionary(self, table, column):
+        """The dictionary of ``table.column(column)`` (built lazily once).
+
+        Args:
+            table: the owning :class:`~repro.storage.table.Table`.
+            column: column name.
+
+        Returns:
+            The cached :class:`ColumnDictionary`; rebuilt (and
+            re-cached) whenever the stored entry's base array is not
+            *the* current storage array of the column.
+        """
+        key = (table.name, column)
+        values = table.column(column)
+        with self._lock:
+            entry = self._entries.get(key)
+        if entry is not None and entry[1].base is values:
+            self.stats.hits += 1
+            obs.counter_add("encoding.dict_hits")
+            return entry[1]
+        self.stats.misses += 1
+        dictionary = ColumnDictionary(values)
+        obs.counter_add("encoding.dict_builds")
+        with self._lock:
+            self._entries[key] = (table, dictionary)
+        return dictionary
+
+    def handle(self, table, column):
+        """A lazy :class:`ColumnHandle` for a batch column."""
+        return ColumnHandle(self, table, column)
+
+    def lexsort(self, table, columns):
+        """The permutation ``np.lexsort`` would produce for ``columns``.
+
+        ``columns[0]`` is the most significant (leading) key, matching
+        ``np.lexsort(tuple(reversed(arrays)))`` in the index build.
+        Implemented as the textbook sequence of stable sorts from the
+        least to the most significant key — over cached int64 *codes*
+        instead of raw arrays — seeded with the least significant
+        column's cached argsort.  Stable sorts are unique, so the
+        result is byte-identical to ``np.lexsort`` on the raw arrays.
+
+        Every suffix's order is memoized per ``(table, column tuple)``:
+        indexes sharing key suffixes (and identical rebuilt indexes)
+        share the sorts, and a single-column index build is a pure
+        cache read of the column's argsort.
+        """
+        order = None
+        start = len(columns)
+        # Longest cached suffix first: a repeat call for the same key
+        # tuple is a pure memo read.
+        for depth in range(len(columns)):
+            suffix = tuple(columns[depth:])
+            cached = self._peek_order(table, suffix)
+            if cached is not None:
+                order, start = cached, depth
+                break
+        if order is None:
+            # Innermost seed: the last column's cached stable argsort.
+            order = self.dictionary(table, columns[-1]).argsort()
+            start = len(columns) - 1
+            self._store_order(table, (columns[-1],), order)
+        for depth in range(start - 1, -1, -1):
+            codes = self.dictionary(table, columns[depth]).codes
+            order = order[np.argsort(codes[order], kind="stable")]
+            self._store_order(table, tuple(columns[depth:]), order)
+        return order
+
+    def _peek_order(self, table, key_columns):
+        """A memoized sort order, validated against the live key arrays.
+
+        Identity of every key column's storage array is the validity
+        criterion (``append_rows`` replaces arrays inside the same
+        ``Table`` object, so table identity alone would be stale).
+        """
+        with self._lock:
+            entry = self._orders.get((table.name, key_columns))
+        if entry is None:
+            return None
+        _, arrays, order = entry
+        for column, array in zip(key_columns, arrays):
+            if table.column(column) is not array:
+                return None
+        obs.counter_add("encoding.codes_reused")
+        return order
+
+    def _store_order(self, table, key_columns, order):
+        arrays = tuple(table.column(c) for c in key_columns)
+        with self._lock:
+            self._orders[(table.name, key_columns)] = (table, arrays, order)
+
+    def invalidate(self):
+        """Sweep out entries no longer backed by their table's live arrays.
+
+        Called from ``Database.invalidate_caches`` on every state
+        transition.  Unlike the plan/environment caches — whose entries
+        depend on configuration state — a dictionary depends only on
+        its base array, so entries that still pass the identity check
+        (the table's data did not change) are kept; everything else
+        (reloaded tables, appended rows, rebuilt views) is dropped.
+        Access-time identity validation in :meth:`dictionary` makes
+        this sweep a garbage collection, not a correctness requirement.
+        """
+        with self._lock:
+            self._entries = {
+                key: entry
+                for key, entry in self._entries.items()
+                if entry[0].column(key[1]) is entry[1].base
+            }
+            self._orders = {
+                key: entry
+                for key, entry in self._orders.items()
+                if all(
+                    entry[0].column(column) is array
+                    for column, array in zip(key[1], entry[1])
+                )
+            }
+            self.stats.invalidations += 1
+        obs.counter_add("cache.dict_cache.invalidations")

@@ -9,15 +9,25 @@ widely different intermediate-result sizes.
 
 import numpy as np
 
+from ..storage.encoding import ColumnDictionary
 
-def value_frequencies(values):
-    """Sorted-by-frequency ``(value, count)`` pairs of a column."""
-    uniques, counts = np.unique(np.asarray(values), return_counts=True)
+
+def value_frequencies(source):
+    """Sorted-by-frequency ``(value, count)`` pairs of a column.
+
+    ``source`` is either a raw storage array or a cached
+    :class:`~repro.storage.encoding.ColumnDictionary` (as returned by
+    ``Database.column_dictionary``); the dictionary serves the
+    identical pairs without re-sorting the column per call.
+    """
+    if isinstance(source, ColumnDictionary):
+        return source.by_frequency()
+    uniques, counts = np.unique(np.asarray(source), return_counts=True)
     order = np.argsort(counts, kind="stable")
     return uniques[order], counts[order]
 
 
-def selectivity_ladder(values, steps=(1, 10, 100), rank=0):
+def selectivity_ladder(source, steps=(1, 10, 100), rank=0):
     """Constants with frequencies ≈ ``f1 * step`` for each step.
 
     ``rank`` offsets the starting (most selective) value so different
@@ -25,9 +35,13 @@ def selectivity_ladder(values, steps=(1, 10, 100), rank=0):
     ``(value, frequency)`` pairs, shortest when the column's frequency
     spread cannot support the requested ladder.
     """
-    uniques, counts = value_frequencies(values)
+    uniques, counts = value_frequencies(source)
     if len(uniques) == 0:
         return []
+    if isinstance(source, ColumnDictionary):
+        counts_f64 = source.by_frequency_counts_f64()
+    else:
+        counts_f64 = counts.astype(np.float64)
     base_idx = min(rank, len(uniques) - 1)
     f1 = counts[base_idx]
     ladder = [(uniques[base_idx], int(f1))]
@@ -35,24 +49,27 @@ def selectivity_ladder(values, steps=(1, 10, 100), rank=0):
         target = f1 * step
         if counts[-1] < target / 3:
             break
-        idx = int(np.argmin(np.abs(counts.astype(np.float64) - target)))
+        idx = int(np.argmin(np.abs(counts_f64 - target)))
         if idx == base_idx:
             continue
         ladder.append((uniques[idx], int(counts[idx])))
     return ladder
 
 
-def frequency_ladder(values, steps=(1, 10, 100)):
+def frequency_ladder(source, steps=(1, 10, 100)):
     """Frequency constants ``p`` for ``HAVING COUNT(*) = p`` templates.
 
     Picks frequencies that actually occur in the column such that the
     total number of rows selected by "values occurring exactly p times"
     spans the requested orders of magnitude.
     """
-    _, counts = value_frequencies(values)
+    _, counts = value_frequencies(source)
     if len(counts) == 0:
         return []
-    freq_vals, freq_of_freq = np.unique(counts, return_counts=True)
+    if isinstance(source, ColumnDictionary):
+        freq_vals, freq_of_freq = source.frequency_histogram()
+    else:
+        freq_vals, freq_of_freq = np.unique(counts, return_counts=True)
     rows_selected = freq_vals * freq_of_freq
     order = np.argsort(rows_selected, kind="stable")
     base = rows_selected[order[0]]

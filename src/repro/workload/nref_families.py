@@ -138,7 +138,7 @@ def generate_nref3j(database):
             for group_cols in _groupby_subsets(group_pool, 3, limit):
                 for c4 in filter_cols:
                     ladder = selectivity_ladder(
-                        database.table(s_table).column(c4)
+                        database.column_dictionary(s_table, c4)
                     )
                     for k, freq in ladder:
                         select_cols = (

@@ -57,7 +57,7 @@ def _nonkey_join_pairs(catalog, s_table, t_table):
 
 def _theta_variants(database, s_table, c3, include_subquery):
     """θ(S.c3) variants with their constants (paper: three per assignment)."""
-    column = database.table(s_table).column(c3)
+    column = database.column_dictionary(s_table, c3)
     variants = []
     for k, freq in selectivity_ladder(column):
         variants.append(("eq", k, freq))

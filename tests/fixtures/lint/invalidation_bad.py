@@ -14,3 +14,19 @@ class MiniDatabase:
 
     def insert(self, name, rows):
         self.tables[name].extend(rows)
+
+
+class DictEncodedDatabase:
+    """Resetting a derived cache by hand is not invalidate_caches."""
+
+    def __init__(self):
+        self.tables = {}
+        self._dict_cache = {}
+
+    def invalidate_caches(self):
+        self._plan_cache = {}
+        self._dict_cache = {}
+
+    def append(self, name, rows):
+        self.tables[name].extend(rows)
+        self._dict_cache = {}

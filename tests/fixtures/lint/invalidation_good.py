@@ -23,6 +23,27 @@ class MiniDatabase:
         self.tables = dict(state)
 
 
+class DictEncodedDatabase:
+    """Dictionary cache invalidated through the invalidate_caches path."""
+
+    def __init__(self):
+        self.tables = {}
+        self._dict_cache = DictCache()
+
+    def invalidate_caches(self):
+        self._plan_cache = {}
+        self._dict_cache.invalidate()
+
+    def load_table(self, name, rows):
+        self.tables[name] = rows
+        self.invalidate_caches()
+
+
+class DictCache:
+    def invalidate(self):
+        pass
+
+
 class NotADatabase:
     """Defines no invalidate_caches, so INV001 never applies to it."""
 

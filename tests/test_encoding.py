@@ -1,0 +1,264 @@
+"""Dictionary-encoded columns: identity caching, equivalence, invalidation."""
+
+import numpy as np
+import pytest
+from conftest import load_city_database
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.data import IndexData
+from repro.index.definition import IndexDefinition
+from repro.storage.encoding import (
+    CACHE_ENV,
+    ColumnDictionary,
+    DictionaryCache,
+    dict_cache_enabled,
+)
+from repro.workload.constants import (
+    frequency_ladder,
+    selectivity_ladder,
+    value_frequencies,
+)
+
+
+# ----------------------------------------------------------------------
+# ColumnDictionary: byte-equivalence with the np.unique derivations
+
+def test_dictionary_matches_np_unique():
+    base = np.array([3, 1, 3, 2, 1, 3, 7], dtype=np.int64)
+    d = ColumnDictionary(base)
+    values, counts = np.unique(base, return_counts=True)
+    assert d.values.tolist() == values.tolist()
+    assert d.counts.tolist() == counts.tolist()
+    assert d.n_distinct == len(values)
+    assert d.row_count == len(base)
+    _, inverse = np.unique(base, return_inverse=True)
+    assert d.codes.tolist() == inverse.tolist()
+    assert d.codes.dtype == np.int64
+    assert d.argsort().tolist() == np.lexsort((base,)).tolist()
+
+
+def test_dictionary_encode_base_and_subset():
+    base = np.array(["b", "a", "c", "a", "b"], dtype=object)
+    d = ColumnDictionary(base)
+    assert d.encode(base) is d.codes  # the cached array, not a copy
+    subset = base[np.array([0, 3])]
+    assert d.values[d.encode(subset)].tolist() == ["b", "a"]
+
+
+def test_dictionary_frequency_views():
+    base = np.array([5, 5, 5, 2, 2, 9], dtype=np.int64)
+    d = ColumnDictionary(base)
+    values, counts = value_frequencies(base)
+    dv, dc = d.by_frequency()
+    assert dv.tolist() == values.tolist()
+    assert dc.tolist() == counts.tolist()
+    # The hoisted float64 cast is computed once and reused.
+    f64 = d.by_frequency_counts_f64()
+    assert f64 is d.by_frequency_counts_f64()
+    assert f64.tolist() == counts.astype(np.float64).tolist()
+    fv, ff = d.frequency_histogram()
+    ev, ef = np.unique(counts, return_counts=True)
+    assert fv.tolist() == ev.tolist() and ff.tolist() == ef.tolist()
+
+
+# ----------------------------------------------------------------------
+# Ladders served from a dictionary are identical to the raw-array path
+
+def test_ladders_from_dictionary_identical(city_db):
+    column = city_db.table("orders").column("uid")
+    d = ColumnDictionary(column)
+    assert selectivity_ladder(d) == selectivity_ladder(column)
+    assert frequency_ladder(d) == frequency_ladder(column)
+    dv, dc = value_frequencies(d)
+    rv, rc = value_frequencies(column)
+    assert dv.tolist() == rv.tolist() and dc.tolist() == rc.tolist()
+
+
+def test_repeated_ladder_calls_hit_the_cache(city_db):
+    cache = city_db._dict_cache
+    before = cache.stats.hits
+    first = selectivity_ladder(city_db.column_dictionary("orders", "uid"))
+    second = selectivity_ladder(city_db.column_dictionary("orders", "uid"))
+    assert first == second
+    # The second call is a pure cache read: one more hit, no rebuild.
+    assert cache.stats.hits > before
+    d1 = city_db.column_dictionary("orders", "uid")
+    assert city_db.column_dictionary("orders", "uid") is d1
+
+
+# ----------------------------------------------------------------------
+# DictionaryCache: identity validation and invalidation sweep
+
+def test_cache_serves_same_dictionary_until_data_changes(city_db):
+    cache = DictionaryCache()
+    users = city_db.table("users")
+    d1 = cache.dictionary(users, "city")
+    d2 = cache.dictionary(users, "city")
+    assert d1 is d2
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+    users.append_rows(
+        {"uid": [10_000], "city": ["yyz"], "age": [40]}
+    )
+    d3 = cache.dictionary(users, "city")
+    assert d3 is not d1  # append replaced the storage array
+    assert "yyz" in d3.values.tolist()
+
+
+def test_invalidate_sweeps_stale_entries_keeps_fresh(city_db):
+    cache = DictionaryCache()
+    users = city_db.table("users")
+    orders = city_db.table("orders")
+    cache.dictionary(users, "city")
+    kept = cache.dictionary(orders, "city")
+    users.append_rows(
+        {"uid": [10_001], "city": ["yul"], "age": [41]}
+    )
+    cache.invalidate()
+    assert ("users", "city") not in cache._entries
+    assert cache.dictionary(orders, "city") is kept
+
+
+def test_lexsort_matches_np_lexsort(city_db):
+    cache = DictionaryCache()
+    users = city_db.table("users")
+    arrays = [users.column("city"), users.column("age")]
+    expected = np.lexsort(tuple(reversed(arrays)))
+    order = cache.lexsort(users, ("city", "age"))
+    assert order.tolist() == expected.tolist()
+    # Memoized: the identical permutation object on a repeat call.
+    assert cache.lexsort(users, ("city", "age")) is order
+    # A shared suffix reuses the cached inner sort.
+    suffix = cache.lexsort(users, ("age",))
+    assert suffix.tolist() == np.lexsort(
+        (users.column("age"),)
+    ).tolist()
+
+
+def test_lexsort_recomputes_after_append_rows(city_db):
+    cache = DictionaryCache()
+    users = city_db.table("users")
+    stale = cache.lexsort(users, ("city", "age"))
+    users.append_rows(
+        {"uid": [10_002], "city": ["aaa"], "age": [1]}
+    )
+    fresh = cache.lexsort(users, ("city", "age"))
+    assert fresh is not stale
+    arrays = [users.column("city"), users.column("age")]
+    assert fresh.tolist() == np.lexsort(
+        tuple(reversed(arrays))
+    ).tolist()
+
+
+def test_index_build_with_cache_is_identical(city_db):
+    cache = DictionaryCache()
+    users = city_db.table("users")
+    definition = IndexDefinition(table="users", columns=("city", "age"))
+    legacy = IndexData(definition, users)
+    cached = IndexData(definition, users, encodings=cache)
+    assert cached.row_ids.tolist() == legacy.row_ids.tolist()
+    for got, want in zip(cached.key_columns, legacy.key_columns):
+        assert got.tolist() == want.tolist()
+    assert cached.cluster_factor == legacy.cluster_factor
+    # The memoized permutation is not aliased into the index.
+    assert cached.row_ids is not cache.lexsort(users, ("city", "age"))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rows=st.integers(1, 60),
+    domain=st.integers(1, 8),
+    seed=st.integers(0, 500),
+)
+def test_property_lexsort_equals_np_lexsort(rows, domain, seed):
+    from conftest import make_city_catalog
+    from repro.storage.table import Table
+
+    rng = np.random.default_rng(seed)
+    catalog = make_city_catalog()
+    table = Table(
+        catalog.table("orders"),
+        {
+            "oid": np.arange(rows),
+            "uid": rng.integers(0, domain, rows),
+            "city": rng.choice(
+                np.array(["a", "b", "c"], dtype=object), rows
+            ),
+            "amount": rng.integers(0, domain, rows),
+        },
+    )
+    cache = DictionaryCache()
+    for columns in (("uid",), ("city", "uid"), ("uid", "city", "amount")):
+        arrays = [table.column(c) for c in columns]
+        expected = np.lexsort(tuple(reversed(arrays)))
+        assert cache.lexsort(table, columns).tolist() == expected.tolist()
+
+
+# ----------------------------------------------------------------------
+# The REPRO_DICT_CACHE kill switch
+
+def test_dict_cache_enabled_env(monkeypatch):
+    monkeypatch.delenv(CACHE_ENV, raising=False)
+    assert dict_cache_enabled()
+    for off in ("0", "false", "NO", " Off "):
+        monkeypatch.setenv(CACHE_ENV, off)
+        assert not dict_cache_enabled()
+    monkeypatch.setenv(CACHE_ENV, "1")
+    assert dict_cache_enabled()
+    assert dict_cache_enabled(flag=True)
+    assert not dict_cache_enabled(flag=False)
+
+
+def test_execution_byte_identical_with_cache_off(monkeypatch):
+    sql = (
+        "SELECT u.city, COUNT(*) FROM users u, orders o "
+        "WHERE u.uid = o.uid AND u.city = 'tor' GROUP BY u.city"
+    )
+    results = {}
+    for flag in ("1", "0"):
+        monkeypatch.setenv(CACHE_ENV, flag)
+        db = load_city_database()
+        first = db.execute(sql)
+        again = db.execute(sql)  # warm plan + dictionary caches
+        results[flag] = (
+            sorted(first.rows()), first.elapsed,
+            sorted(again.rows()), again.elapsed,
+        )
+    assert results["1"] == results["0"]
+
+
+def test_statistics_byte_identical_with_cache_off(monkeypatch):
+    reports = {}
+    for flag in ("1", "0"):
+        monkeypatch.setenv(CACHE_ENV, flag)
+        db = load_city_database()
+        stats = db.statistics.table("orders")
+        reports[flag] = {
+            name: (
+                cs.n_distinct,
+                list(cs.mcv_values),
+                list(cs.mcv_fractions),
+            )
+            for name, cs in stats.columns.items()
+        }
+    assert reports["1"] == reports["0"]
+
+
+def test_database_cache_stats_exposes_dict_cache(city_db):
+    city_db.column_dictionary("users", "city")
+    city_db.column_dictionary("users", "city")
+    snapshot = city_db.cache_stats()["dict_cache"]
+    assert snapshot["hits"] >= 1
+    assert snapshot["misses"] >= 1
+    assert 0.0 <= snapshot["hit_rate"] <= 1.0
+
+
+def test_database_invalidation_drops_stale_dictionaries(city_db):
+    d1 = city_db.column_dictionary("orders", "amount")
+    city_db.insert_rows(
+        "orders",
+        {"oid": [99_999], "uid": [1], "city": ["tor"], "amount": [55]},
+    )
+    d2 = city_db.column_dictionary("orders", "amount")
+    assert d2 is not d1
+    assert d2.row_count == d1.row_count + 1

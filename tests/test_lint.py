@@ -65,9 +65,10 @@ def test_clock_rule_negative():
 def test_invalidation_rule_positive():
     result = lint(FIXTURES / "invalidation_bad.py", "INV001")
     messages = [f.message for f in result.findings]
-    assert len(messages) == 2
+    assert len(messages) == 3
     assert any("MiniDatabase.load_table" in m for m in messages)
     assert any("MiniDatabase.insert" in m for m in messages)
+    assert any("DictEncodedDatabase.append" in m for m in messages)
 
 
 def test_invalidation_rule_negative():
