@@ -1,0 +1,247 @@
+#!/usr/bin/env python3
+"""Perf trajectory of sharded execution (``BENCH_sharding.json``).
+
+Runs the full fig4 pipeline — System A on NREF3J: data generation,
+workload generation, statistics, the 1C recommendation, index builds,
+and the P/1C/R measurements — once with horizontal sharding off
+(``REPRO_SHARDS=0``: one contiguous column array per table) and once
+with it on (``REPRO_SHARDS=4``: hash-partitioned
+:class:`~repro.storage.sharding.ShardedTable` storage, per-shard
+statistics merged by exact value/count sketches, and shard-parallel
+filter/semijoin evaluation over ``multiprocessing.shared_memory`` when
+``REPRO_SHARD_JOBS`` > 1).  Each mode gets a fresh context, so the
+deltas isolate the sharding layer.  The script fails unless the two
+modes produce byte-identical figure text and measured cost curves —
+sharding is a physical-layout knob, never a semantic one.
+
+Besides wall time, each mode records the ``sharding.*`` counters
+(shard scans, pool tasks, bytes placed in shared memory).  The
+``speedup`` ratio is only meaningful on a multi-core runner with
+``REPRO_SHARD_JOBS`` > 1; the ``cpus`` field in the run block records
+what the numbers were captured on.
+
+The output file matches :data:`repro.obs.schemas.BENCH_SHARDING_SCHEMA`
+(prose version in ``docs/performance.md``) and is validated before it
+is written.  CI runs the smoke mode on every push and uploads the file
+as an artifact; the committed ``results/BENCH_sharding.json`` comes
+from a full run (see ``EXPERIMENTS.md`` for the regeneration command).
+
+Usage::
+
+    python benchmarks/bench_perf_sharding.py           # full run (~minutes)
+    python benchmarks/bench_perf_sharding.py --smoke   # CI-sized (~seconds)
+    python benchmarks/bench_perf_sharding.py -o out.json --shard-jobs 2
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parents[1] / "src"))
+
+from repro import obs                                    # noqa: E402
+from repro.bench.context import (                        # noqa: E402
+    BenchContext,
+    BenchSettings,
+)
+from repro.bench.experiments import figure_cfc           # noqa: E402
+from repro.storage.sharding import (                     # noqa: E402
+    SHARD_JOBS_ENV,
+    SHARDS_ENV,
+)
+
+FIGURE = "fig4"
+SYSTEM, FAMILY = "A", "NREF3J"
+SHARDS = 4
+
+# Full-mode knobs match the other perf benchmarks so the trajectories
+# are comparable; smoke mode shrinks data and workload until both modes
+# fit in CI seconds while still exercising every sharded code path.
+FULL = {"scale": 0.15, "workload_size": 100, "seed": 405, "jobs": 1}
+SMOKE = {"scale": 0.05, "workload_size": 10, "seed": 405, "jobs": 1}
+
+_COUNTER_KEYS = {
+    "shards_scanned": "sharding.shards_scanned",
+    "pool_tasks": "sharding.pool_tasks",
+    "bytes_shared": "sharding.bytes_shared",
+}
+
+
+def default_shard_jobs():
+    """Shard-worker default: one per core, capped at the shard count.
+
+    On a single-core box this resolves to 1 (serial in-process shard
+    loops — still exercises partitioned storage and merged statistics,
+    just not the pool), so the benchmark never *slows down* the machine
+    it runs on just to tick a counter.
+    """
+    return max(1, min(SHARDS, os.cpu_count() or 1))
+
+
+def run_mode(settings, shards, shard_jobs):
+    """One timed fig4 pipeline run; returns the mode's metrics block.
+
+    A fresh :class:`BenchContext` per call keeps artifacts and live
+    databases from leaking between modes: the timer covers the whole
+    pipeline (data, workload, stats, recommendation, measurements), the
+    stages sharding spans.
+    """
+    os.environ[SHARDS_ENV] = str(shards)
+    os.environ[SHARD_JOBS_ENV] = str(shard_jobs)
+    try:
+        context = BenchContext(settings)
+        with obs.recording() as recorder:
+            start = time.perf_counter()
+            result = figure_cfc(FIGURE, context)
+            wall = time.perf_counter() - start
+    finally:
+        del os.environ[SHARDS_ENV]
+        del os.environ[SHARD_JOBS_ENV]
+    counters = recorder.metrics.snapshot().get("counters", {})
+    mode = {
+        "wall_seconds": round(wall, 4),
+        "shards": shards,
+        "shard_jobs": shard_jobs,
+    }
+    for field, counter in _COUNTER_KEYS.items():
+        mode[field] = int(counters.get(counter, 0))
+    mode["figure_fingerprint"] = hashlib.sha256(
+        str(result).encode("utf-8")
+    ).hexdigest()
+    mode["costs_fingerprint"] = hashlib.sha256(
+        json.dumps(result.data, sort_keys=True, default=repr)
+        .encode("utf-8")
+    ).hexdigest()
+    return mode
+
+
+def run_target(settings, shard_jobs):
+    """Unsharded + sharded runs of the fig4 target, with derived ratios."""
+    label = f"{SYSTEM}/{FAMILY}"
+    print(f"[{label}] unsharded run ({SHARDS_ENV}=0) ...", flush=True)
+    unsharded = run_mode(settings, shards=0, shard_jobs=1)
+    print(
+        f"[{label}] unsharded: {unsharded['wall_seconds']:.2f}s",
+        flush=True,
+    )
+    print(
+        f"[{label}] sharded run ({SHARDS_ENV}={SHARDS}, "
+        f"{SHARD_JOBS_ENV}={shard_jobs}) ...", flush=True,
+    )
+    sharded = run_mode(settings, shards=SHARDS, shard_jobs=shard_jobs)
+    print(
+        f"[{label}] sharded:   {sharded['wall_seconds']:.2f}s, "
+        f"{sharded['shards_scanned']} shard scans, "
+        f"{sharded['pool_tasks']} pool tasks", flush=True,
+    )
+    identical = (
+        sharded["figure_fingerprint"] == unsharded["figure_fingerprint"]
+        and sharded["costs_fingerprint"] == unsharded["costs_fingerprint"]
+    )
+    return {
+        "target": f"{SYSTEM}/{FAMILY}",
+        "system": SYSTEM,
+        "family": FAMILY,
+        "identical": identical,
+        "speedup": round(
+            unsharded["wall_seconds"] / max(sharded["wall_seconds"], 1e-9),
+            3,
+        ),
+        "sharded": sharded,
+        "unsharded": unsharded,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/bench_perf_sharding.py",
+        description="Benchmark sharded columnar execution "
+                    "(fig4 pipeline, REPRO_SHARDS on vs off).",
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (tiny scale and workload)")
+    parser.add_argument("-o", "--output", default=None, metavar="FILE",
+                        help="output path "
+                             "(default results/BENCH_sharding.json)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="override the mode's data scale factor")
+    parser.add_argument("--workload-size", type=int, default=None,
+                        help="override the mode's sampled workload size")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the sampling seed")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="override the measurement-pool width "
+                             "(both modes)")
+    parser.add_argument("--shard-jobs", type=int, default=None,
+                        help="shard-worker pool width for the sharded "
+                             "mode (default: one per core, capped at "
+                             f"{SHARDS})")
+    args = parser.parse_args(argv)
+
+    knobs = dict(SMOKE if args.smoke else FULL)
+    for name in ("scale", "workload_size", "seed", "jobs"):
+        value = getattr(args, name)
+        if value is not None:
+            knobs[name] = value
+    shard_jobs = args.shard_jobs or default_shard_jobs()
+    settings = BenchSettings(
+        scale=knobs["scale"],
+        workload_size=knobs["workload_size"],
+        seed=knobs["seed"],
+        jobs=knobs["jobs"],
+    )
+
+    mode = "smoke" if args.smoke else "full"
+    run_id = (
+        f"sharding-{mode}-s{knobs['scale']}-w{knobs['workload_size']}"
+        f"-seed{knobs['seed']}-j{knobs['jobs']}-sj{shard_jobs}"
+    )
+    print(f"run {run_id}", flush=True)
+    document = {
+        "schema": "repro.bench_sharding/v1",
+        "run": {
+            "id": run_id,
+            "smoke": bool(args.smoke),
+            "scale": knobs["scale"],
+            "workload_size": knobs["workload_size"],
+            "seed": knobs["seed"],
+            "jobs": knobs["jobs"],
+            "cpus": os.cpu_count() or 1,
+        },
+        "targets": [run_target(settings, shard_jobs)],
+    }
+    obs.validate_bench_sharding(document)
+
+    output = pathlib.Path(
+        args.output
+        or pathlib.Path(__file__).parents[1] / "results"
+        / "BENCH_sharding.json"
+    )
+    output.parent.mkdir(parents=True, exist_ok=True)
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {output}")
+
+    failed = False
+    for target in document["targets"]:
+        status = "identical" if target["identical"] else "MISMATCH"
+        print(
+            f"{target['target']}: speedup x{target['speedup']} "
+            f"({document['run']['cpus']} cpus, "
+            f"{target['sharded']['shard_jobs']} shard jobs), {status}"
+        )
+        failed = failed or not target["identical"]
+    if failed:
+        print("FAILED: sharded and unsharded fig4 outputs differ",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,6 +38,7 @@ from ..engine.systems import by_name as system_by_name
 from ..recommender.whatif import WhatIfRecommender
 from ..runtime.artifacts import ArtifactCache, StageTimings, artifact_key
 from ..runtime.session import MeasurementSession, resolve_jobs
+from ..storage.sharding import shard_count
 from ..workload.nref_families import generate_nref2j, generate_nref3j
 from ..workload.sampling import sample_benchmark_workload
 from ..workload.tpch_families import (
@@ -98,6 +99,10 @@ class BenchContext:
         self.artifacts = artifacts or ArtifactCache()
         self.timings = StageTimings()
         self.jobs = resolve_jobs(self.settings.jobs or None)
+        # Horizontal partitioning (REPRO_SHARDS; 0 = off).  Results are
+        # byte-identical either way, but a *database* artifact holds
+        # sharded (or unsharded) storage, so its key carries the count.
+        self.shards = shard_count()
         # Databases are mutable (configurations get applied in place),
         # so the live instances are process-local; the artifact store
         # keeps the expensive *loaded + P-built* snapshot.
@@ -113,7 +118,10 @@ class BenchContext:
         """A loaded database for ``(system, dataset)`` with P applied."""
         live_key = (system_name, dataset)
         if live_key not in self._live_databases:
-            key = self._key("database", system_name, dataset)
+            parts = ["database", system_name, dataset]
+            if self.shards:
+                parts += ["shards", self.shards]
+            key = self._key(*parts)
 
             def build():
                 with self.timings.stage("build_database"), obs.span(

@@ -65,10 +65,17 @@ from ..storage.encoding import (
     DictionaryCache,
     dict_cache_enabled,
 )
+from ..storage.sharding import (
+    ShardedTable,
+    ShardRuntime,
+    shard_count,
+    shard_scheme,
+)
 from ..storage.table import Table
 from ..views.matview import build_view
 from .configuration import (
     Configuration,
+    content_fingerprint,
     index_content_key,
     primary_configuration,
     view_content_key,
@@ -146,6 +153,14 @@ class Database:
         self._dict_cache = DictionaryCache()
         self._bind_stats = CacheStats("bind_cache")
         self._current_fingerprint = None
+        # Horizontal partitioning (REPRO_SHARDS; 0 = off).  The shard
+        # runtime owns the worker pool and shared-memory segments; the
+        # dictionary cache builds sharded tables' dictionaries from
+        # per-shard sketches through it.
+        self._shards = shard_count()
+        self._shard_runtime = ShardRuntime() if self._shards else None
+        if self._shard_runtime is not None:
+            self._dict_cache.attach_sharding(self._shard_runtime)
 
     # ------------------------------------------------------------------
     # Pickling (the artifact store persists built databases to disk):
@@ -155,7 +170,8 @@ class Database:
         state = self.__dict__.copy()
         for transient in ("_plan_cache", "_env_cache", "_whatif_cache",
                           "_dict_cache", "_bind_stats",
-                          "_current_fingerprint", "_bound_cache"):
+                          "_current_fingerprint", "_bound_cache",
+                          "_shards", "_shard_runtime"):
             state.pop(transient, None)
         return state
 
@@ -179,6 +195,8 @@ class Database:
         self._env_cache.invalidate()
         self._whatif_cache.invalidate()
         self._dict_cache.invalidate()
+        if self._shard_runtime is not None:
+            self._shard_runtime.invalidate()
         self._current_fingerprint = None
 
     @property
@@ -226,7 +244,12 @@ class Database:
 
     def load_table(self, name, columns):
         schema = self.catalog.table(name)
-        self.tables[name] = Table(schema, columns)
+        if self._shards:
+            self.tables[name] = ShardedTable(
+                schema, columns, shards=self._shards, scheme=shard_scheme()
+            )
+        else:
+            self.tables[name] = Table(schema, columns)
         self._bound_cache.clear()
         self._view_size_cache.clear()
         self.invalidate_caches()
@@ -238,16 +261,28 @@ class Database:
             raise CatalogError(f"table {name!r} is not loaded") from None
 
     def collect_statistics(self):
-        """Collect full statistics for every loaded table (and built view)."""
+        """Collect full statistics for every loaded table (and built view).
+
+        Sharded tables are collected per shard and merged — exact
+        sketch merging keeps the result byte-identical to unsharded
+        collection (views are plain tables and collect directly).
+        """
         encodings = self._dict_encodings()
         for table in self.tables.values():
-            self.statistics.put(TableStats.collect(table, encodings))
+            self.statistics.put(self._collect_table_stats(table, encodings))
         if self._built is not None:
             for view_table in self._built.view_tables.values():
                 self._view_stats.put(
                     TableStats.collect(view_table, encodings)
                 )
         self.invalidate_caches()
+
+    def _collect_table_stats(self, table, encodings):
+        if isinstance(table, ShardedTable) and table.shards > 1:
+            return TableStats.collect_sharded(
+                table, runtime=self._shard_runtime
+            )
+        return TableStats.collect(table, encodings)
 
     # ------------------------------------------------------------------
     # Configurations
@@ -260,9 +295,20 @@ class Database:
 
     @property
     def configuration_fingerprint(self):
-        """Content fingerprint of the currently-built configuration."""
+        """Content fingerprint of the currently-built configuration.
+
+        With sharding on, the shard count is mixed in: plans, what-if
+        environments, and cost-service entries keyed by this value can
+        never be shared between sharded and unsharded instances of the
+        same logical configuration.
+        """
         if self._current_fingerprint is None:
-            self._current_fingerprint = self.configuration.fingerprint
+            fingerprint = self.configuration.fingerprint
+            if self._shards and not self.configuration.shards:
+                fingerprint = content_fingerprint(
+                    fingerprint, ("shards", self._shards)
+                )
+            self._current_fingerprint = fingerprint
         return self._current_fingerprint
 
     def apply_configuration(self, config):
@@ -775,6 +821,7 @@ class Database:
             executor = Executor(
                 self._exec_tables(), self.system.hardware, timeout,
                 encodings=self._dict_encodings(),
+                sharding=self._shard_runtime,
             )
             try:
                 outcome = executor.run(plan)

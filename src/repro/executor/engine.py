@@ -13,6 +13,15 @@ Scans, probes, and joins additionally feed the ``engine.*`` counters of
 the observability layer (rows scanned, pages read, index probes, join
 output rows); with no recorder installed those calls are no-ops and the
 virtual clock is untouched either way.
+
+With a :class:`~repro.storage.sharding.ShardRuntime` attached, scans of
+sharded tables evaluate filter predicates and semijoin membership per
+shard — optionally on the runtime's process pool over shared-memory
+arrays — and scatter the per-shard masks back in deterministic shard
+order.  The cost charge comes from
+:func:`~repro.optimizer.cost_model.sharded_seq_scan`, which conserves
+table totals, so both the result batch and the virtual clock are
+byte-identical with sharding on or off.
 """
 
 from dataclasses import dataclass
@@ -32,6 +41,7 @@ from ..optimizer.plans import (
     SeqScan,
     ViewScan,
 )
+from ..storage.sharding import ShardedTable, ValueCountSketch
 from ..views.matview import COUNT_COLUMN
 from .batch import Batch, combine_codes, factorize, join_codes
 
@@ -63,7 +73,8 @@ class ExecutionResult:
 class Executor:
     """Executes plans over built tables, indexes, and views."""
 
-    def __init__(self, tables, hardware, timeout=None, encodings=None):
+    def __init__(self, tables, hardware, timeout=None, encodings=None,
+                 sharding=None):
         self._tables = tables
         self._hw = hardware
         self._timeout = timeout
@@ -71,6 +82,9 @@ class Executor:
         # dictionary handles to their batches so factorize/join_codes
         # can take the sort-free paths.  None = legacy behaviour.
         self._encodings = encodings
+        # Optional ShardRuntime: scans of sharded tables evaluate
+        # filters/semijoins per shard (process pool when configured).
+        self._sharding = sharding
 
     def run(self, plan):
         """Execute a plan; returns an :class:`ExecutionResult`.
@@ -143,21 +157,63 @@ class Executor:
             for c in columns
         }
 
-    def _apply_filters(self, batch, filters, clock):
+    def _apply_filters(self, batch, filters, clock, table=None, alias=None):
         if not filters:
             return batch
         clock.charge(cm.filter_rows(self._hw, batch.rows, len(filters)))
+        specs = self._shard_specs(batch, filters, table, alias)
+        if specs is not None:
+            return batch.mask(self._sharding.filter_mask(table, specs))
         keep = np.ones(batch.rows, dtype=bool)
         for flt in filters:
             values = batch.columns[flt.key]
             keep &= _compare(values, flt.op, flt.value)
         return batch.mask(keep)
 
-    def _apply_semis(self, batch, semi_filters, clock):
+    def _shard_specs(self, batch, filters, table, alias):
+        """``(column, op, value)`` specs when the shard path applies.
+
+        The per-shard mask is only equivalent to the elementwise mask
+        when the batch columns *are* the table's full storage arrays —
+        an unfiltered base batch.  Identity is checked per filter key;
+        any already-masked batch, view column, or computed column
+        routes back to the elementwise path.
+        """
+        if self._sharding is None or not filters:
+            return None
+        if not (isinstance(table, ShardedTable) and table.shards > 1):
+            return None
+        prefix = f"{alias}."
+        specs = []
+        for flt in filters:
+            if not flt.key.startswith(prefix):
+                return None
+            name = flt.key[len(prefix):]
+            if batch.columns[flt.key] is not table.column(name):
+                return None
+            specs.append((name, flt.op, flt.value))
+        return specs
+
+    def _apply_semis(self, batch, semi_filters, clock, table=None,
+                     alias=None):
+        sharded = (
+            self._sharding is not None
+            and isinstance(table, ShardedTable) and table.shards > 1
+        )
+        prefix = f"{alias}."
         for semi in semi_filters:
             allowed = self._semi_allowed(semi.source, clock)
             clock.charge(cm.filter_rows(self._hw, batch.rows))
-            keep = np.isin(batch.columns[semi.key], allowed)
+            name = semi.key[len(prefix):] if semi.key.startswith(prefix) \
+                else None
+            if (sharded and name is not None
+                    and batch.columns[semi.key] is table.column(name)):
+                # The identity check only passes for an unfiltered base
+                # batch; after a mask the columns are subset copies and
+                # later semis take the elementwise path.
+                keep = self._sharding.isin_mask(table, name, allowed)
+            else:
+                keep = np.isin(batch.columns[semi.key], allowed)
             batch = batch.mask(keep)
         return batch
 
@@ -183,10 +239,20 @@ class Executor:
         else:
             table = self._table(semi.sub_table)
             if self._encodings is not None:
+                # Shard-aware already: a DictionaryCache attached to a
+                # ShardRuntime assembles sharded tables' dictionaries
+                # from per-shard sketches.
                 dictionary = self._encodings.dictionary(
                     table, semi.sub_column
                 )
                 values, counts = dictionary.values, dictionary.counts
+            elif (self._sharding is not None
+                    and isinstance(table, ShardedTable)
+                    and table.shards > 1):
+                sketch = ValueCountSketch.merge(
+                    self._sharding.column_sketches(table, semi.sub_column)
+                )
+                values, counts = sketch.values, sketch.counts
             else:
                 column = table.column(semi.sub_column)
                 values, counts = np.unique(column, return_counts=True)
@@ -204,14 +270,24 @@ class Executor:
 
     def _seq_scan(self, node, clock):
         table = self._table(node.table)
-        clock.charge(
-            cm.seq_scan(self._hw, table.page_count(), table.row_count)
-        )
+        if isinstance(table, ShardedTable) and table.shards > 1:
+            clock.charge(
+                cm.sharded_seq_scan(
+                    self._hw, table.page_count(), table.row_count,
+                    table.shard_lengths(),
+                )
+            )
+        else:
+            clock.charge(
+                cm.seq_scan(self._hw, table.page_count(), table.row_count)
+            )
         obs.counter_add("engine.rows_scanned", table.row_count)
         obs.counter_add("engine.pages_read", table.page_count())
         batch = self._base_batch(node.alias, table, node.columns)
-        batch = self._apply_filters(batch, node.filters, clock)
-        batch = self._apply_semis(batch, node.semi_filters, clock)
+        batch = self._apply_filters(batch, node.filters, clock,
+                                    table=table, alias=node.alias)
+        batch = self._apply_semis(batch, node.semi_filters, clock,
+                                  table=table, alias=node.alias)
         return batch
 
     def _index_scan(self, node, clock):
@@ -268,8 +344,13 @@ class Executor:
             obs.counter_add("engine.rows_scanned", info.entries)
             obs.counter_add("engine.pages_read", info.leaf_pages)
             batch = self._base_batch(node.alias, table, node.columns)
-        batch = self._apply_filters(batch, node.residual_filters, clock)
-        batch = self._apply_semis(batch, node.semi_filters, clock)
+        # A covering scan's batch columns are the table's own arrays,
+        # so the shard path applies; the probe branch built subset
+        # copies and the identity checks route it elementwise.
+        batch = self._apply_filters(batch, node.residual_filters, clock,
+                                    table=table, alias=node.alias)
+        batch = self._apply_semis(batch, node.semi_filters, clock,
+                                  table=table, alias=node.alias)
         return batch
 
     def _semi_index_scan(self, node, clock):

@@ -49,12 +49,14 @@ from .report import (
 )
 from .schemas import (
     BENCH_ENCODING_SCHEMA,
+    BENCH_SHARDING_SCHEMA,
     BENCH_WHATIF_SCHEMA,
     EVENT_RECORD_SCHEMA,
     RUN_REPORT_SCHEMA,
     SPAN_RECORD_SCHEMA,
     SchemaError,
     validate_bench_encoding,
+    validate_bench_sharding,
     validate_bench_whatif,
     validate_run_report,
     validate_trace_record,
@@ -63,6 +65,7 @@ from .spans import Span
 
 __all__ = [
     "BENCH_ENCODING_SCHEMA",
+    "BENCH_SHARDING_SCHEMA",
     "BENCH_WHATIF_SCHEMA",
     "EVENT_RECORD_SCHEMA",
     "MetricsRegistry",
@@ -87,6 +90,7 @@ __all__ = [
     "render_text",
     "span",
     "validate_bench_encoding",
+    "validate_bench_sharding",
     "validate_bench_whatif",
     "validate_run_report",
     "validate_trace_record",

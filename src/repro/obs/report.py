@@ -72,6 +72,7 @@ def build_run_report(context, recorder=None, experiments=None):
             "workload_size": settings.workload_size,
             "timeout": settings.timeout,
             "jobs": context.jobs,
+            "shards": getattr(context, "shards", 0),
             "experiments": list(experiments or ()),
         },
         "fingerprints": fingerprints,
@@ -155,6 +156,18 @@ def render_text(report):
         dictionary = caches.get("dict_cache")
         if dictionary and dictionary["hits"] + dictionary["misses"]:
             line += f", dict cache rate {dictionary['hit_rate']:.2f}"
+        lines.append(line)
+    shards = report["run"].get("shards", 0)
+    if shards:
+        counters = report.get("metrics", {}).get("counters", {})
+        line = f"sharding: {shards} shards"
+        scanned = counters.get("sharding.shards_scanned", 0)
+        if scanned:
+            line += (
+                f", {scanned} shard scans, "
+                f"{counters.get('sharding.pool_tasks', 0)} pool tasks, "
+                f"{counters.get('sharding.bytes_shared', 0)} bytes shared"
+            )
         lines.append(line)
     return "\n".join(lines)
 

@@ -178,13 +178,14 @@ RUN_REPORT_SCHEMA = {
         "run": {
             "type": "object",
             "required": ["seed", "scale", "workload_size", "timeout",
-                         "jobs", "experiments"],
+                         "jobs", "shards", "experiments"],
             "properties": {
                 "seed": {"type": "integer"},
                 "scale": {"type": "number"},
                 "workload_size": {"type": "integer"},
                 "timeout": {"type": "number"},
                 "jobs": {"type": "integer", "minimum": 1},
+                "shards": {"type": "integer", "minimum": 0},
                 "experiments": {
                     "type": "array", "items": {"type": "string"},
                 },
@@ -368,3 +369,74 @@ BENCH_ENCODING_SCHEMA = {
 def validate_bench_encoding(document, path="$"):
     """Validate a decoded ``BENCH_encoding.json`` document."""
     return validate_instance(document, BENCH_ENCODING_SCHEMA, path)
+
+
+# ----------------------------------------------------------------------
+# Sharded-execution perf benchmark (BENCH_sharding.json, written by
+# benchmarks/bench_perf_sharding.py; prose version in
+# docs/performance.md).
+
+_SHARDING_MODE_SCHEMA = {
+    "type": "object",
+    "required": ["wall_seconds", "shards", "shard_jobs", "shards_scanned",
+                 "pool_tasks", "bytes_shared", "figure_fingerprint",
+                 "costs_fingerprint"],
+    "properties": {
+        "wall_seconds": {"type": "number", "minimum": 0},
+        "shards": {"type": "integer", "minimum": 0},
+        "shard_jobs": {"type": "integer", "minimum": 1},
+        "shards_scanned": {"type": "integer", "minimum": 0},
+        "pool_tasks": {"type": "integer", "minimum": 0},
+        "bytes_shared": {"type": "integer", "minimum": 0},
+        "figure_fingerprint": {"type": "string"},
+        "costs_fingerprint": {"type": "string"},
+    },
+    "additionalProperties": False,
+}
+
+BENCH_SHARDING_SCHEMA = {
+    "type": "object",
+    "required": ["schema", "run", "targets"],
+    "properties": {
+        "schema": {"enum": ["repro.bench_sharding/v1"]},
+        "run": {
+            "type": "object",
+            "required": ["id", "smoke", "scale", "workload_size", "seed",
+                         "jobs", "cpus"],
+            "properties": {
+                "id": {"type": "string"},
+                "smoke": {"type": "boolean"},
+                "scale": {"type": "number"},
+                "workload_size": {"type": "integer", "minimum": 1},
+                "seed": {"type": "integer"},
+                "jobs": {"type": "integer", "minimum": 1},
+                "cpus": {"type": "integer", "minimum": 1},
+            },
+            "additionalProperties": False,
+        },
+        "targets": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["target", "system", "family", "identical",
+                             "speedup", "sharded", "unsharded"],
+                "properties": {
+                    "target": {"type": "string"},
+                    "system": {"type": "string"},
+                    "family": {"type": "string"},
+                    "identical": {"type": "boolean"},
+                    "speedup": {"type": "number", "minimum": 0},
+                    "sharded": _SHARDING_MODE_SCHEMA,
+                    "unsharded": _SHARDING_MODE_SCHEMA,
+                },
+                "additionalProperties": False,
+            },
+        },
+    },
+    "additionalProperties": False,
+}
+
+
+def validate_bench_sharding(document, path="$"):
+    """Validate a decoded ``BENCH_sharding.json`` document."""
+    return validate_instance(document, BENCH_SHARDING_SCHEMA, path)

@@ -8,11 +8,20 @@ estimation is restricted to the coarse fields — ``row_count``,
 ``n_distinct`` — reproducing the fidelity gap between estimates taken in a
 real configuration and hypothetical estimates that Section 5 of the paper
 measures (Figure 10).
+
+Sharded collection builds the same statistics from per-shard
+:class:`~repro.storage.sharding.ValueCountSketch` objects: every
+derived field is a function of the column's ``(values, counts)`` pair,
+the sketches merge to exactly that pair, so :meth:`ColumnStats.merge`
+over per-shard stats equals :meth:`ColumnStats.collect` over the whole
+column bit for bit.
 """
 
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from ..storage.sharding import ValueCountSketch
 
 MCV_LIST_SIZE = 20
 
@@ -28,6 +37,9 @@ class ColumnStats:
     mcv_fractions: list = field(default_factory=list)
     freq_values: np.ndarray = None        # sorted unique value-frequencies
     freq_row_cumfrac: np.ndarray = None   # P[row's value freq <= freq_values[i]]
+    vmin: object = None                   # smallest column value (None if empty)
+    vmax: object = None                   # largest column value (None if empty)
+    sketch: ValueCountSketch = field(default=None, repr=False)
 
     @classmethod
     def collect(cls, column_name, values, dictionary=None):
@@ -41,14 +53,69 @@ class ColumnStats:
         values = np.asarray(values)
         row_count = len(values)
         if row_count == 0:
-            return cls(column_name, 0, 0,
-                       freq_values=np.array([], dtype=np.int64),
-                       freq_row_cumfrac=np.array([], dtype=np.float64))
+            return cls._empty(column_name)
         if dictionary is not None and dictionary.base is values:
             uniques, counts = dictionary.values, dictionary.counts
-            freq_values, freq_of_freq = dictionary.frequency_histogram()
+            histogram = dictionary.frequency_histogram()
         else:
             uniques, counts = np.unique(values, return_counts=True)
+            histogram = None
+        return cls._from_value_counts(
+            column_name, uniques, counts, row_count, histogram=histogram
+        )
+
+    @classmethod
+    def from_sketch(cls, column_name, sketch, keep_sketch=False):
+        """Statistics from a (possibly shard-merged) value/count sketch.
+
+        The sketch of a full column *is* its ``np.unique(...,
+        return_counts=True)`` pair, so this equals :meth:`collect` over
+        the raw values.  ``keep_sketch`` retains the sketch on the
+        result so per-shard stats stay mergeable.
+        """
+        if sketch.row_count == 0:
+            # An empty shard still needs its (empty) sketch retained,
+            # or merging a partition with one empty shard would fail.
+            empty = cls._empty(column_name)
+            empty.sketch = sketch if keep_sketch else None
+            return empty
+        return cls._from_value_counts(
+            column_name, sketch.values, sketch.counts, int(sketch.row_count),
+            sketch=sketch if keep_sketch else None,
+        )
+
+    @classmethod
+    def merge(cls, parts):
+        """Merge per-shard statistics into the whole column's statistics.
+
+        Every part must retain its sketch (``keep_sketch=True``).  The
+        merged sketch equals the full column's value/count pair, so all
+        derived fields — counts, min/max, MCVs, the frequency profile —
+        are byte-identical to unsharded collection.
+        """
+        parts = list(parts)
+        sketches = [part.sketch for part in parts]
+        if any(sketch is None for sketch in sketches):
+            raise ValueError(
+                "cannot merge ColumnStats without retained sketches"
+            )
+        return cls.from_sketch(
+            parts[0].column, ValueCountSketch.merge(sketches)
+        )
+
+    @classmethod
+    def _empty(cls, column_name):
+        return cls(column_name, 0, 0,
+                   freq_values=np.array([], dtype=np.int64),
+                   freq_row_cumfrac=np.array([], dtype=np.float64))
+
+    @classmethod
+    def _from_value_counts(cls, column_name, uniques, counts, row_count,
+                           sketch=None, histogram=None):
+        """The shared builder: every field from the value/count pair."""
+        if histogram is not None:
+            freq_values, freq_of_freq = histogram
+        else:
             freq_values, freq_of_freq = np.unique(counts, return_counts=True)
         n_distinct = len(uniques)
 
@@ -67,6 +134,9 @@ class ColumnStats:
             mcv_fractions=mcv_fractions,
             freq_values=freq_values.astype(np.int64),
             freq_row_cumfrac=freq_row_cumfrac,
+            vmin=uniques[0],
+            vmax=uniques[-1],
+            sketch=sketch,
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,598 @@
+"""Horizontal partitioning: sharded tables and the shard runtime.
+
+A :class:`ShardedTable` splits a columnar table into hash or range
+shards *without changing its canonical storage*: the full per-column
+numpy arrays stay exactly what :class:`~repro.storage.table.Table`
+holds, and a shard is a row-id partition over them (a contiguous slice
+for range partitioning, an index subset for hash partitioning).  Every
+existing consumer — executor batches, dictionary identity checks,
+index builds — therefore sees unchanged arrays, which is what makes
+the sharded and unsharded engines **byte-identical**: per-shard
+elementwise results are scattered back into full-length outputs in
+deterministic shard order, and that scatter reproduces the unsharded
+computation element for element.
+
+The mergeable unit for statistics is the :class:`ValueCountSketch`:
+``np.unique(values, return_counts=True)`` of one shard.  Merging
+per-shard sketches (union the sorted value sets, sum the counts)
+yields exactly ``np.unique`` of the whole column, so shard-merged
+``ColumnStats``/``ColumnDictionary`` objects equal their unsharded
+counterparts bit for bit (see :mod:`repro.stats.column_stats` and
+:meth:`ColumnDictionary.from_value_counts`).
+
+The :class:`ShardRuntime` executes per-shard work — filter masks,
+semijoin membership, sketch collection — either serially in-process or
+over a **process pool** whose workers read the column data from
+``multiprocessing.shared_memory`` segments (the engine's arrays are
+registered once per array and attached by name in each worker; object
+/ string columns cannot be memory-shared and fall back to the serial
+path).  The pool width comes from ``REPRO_SHARD_JOBS`` (default 1 =
+serial); either way the reduction is the same deterministic
+shard-order scatter, so results do not depend on worker scheduling.
+
+Environment knobs (all read at :class:`~repro.engine.database.Database`
+construction time):
+
+* ``REPRO_SHARDS``       — shard count; 0/unset = sharding off;
+* ``REPRO_SHARD_SCHEME`` — ``hash`` (default) or ``range``;
+* ``REPRO_SHARD_JOBS``   — shard worker processes (default 1 = serial).
+"""
+
+import os
+import threading
+import weakref
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from multiprocessing import get_context, shared_memory
+
+import numpy as np
+
+from .. import obs
+from ..common.errors import CatalogError
+from .table import Table
+
+SHARDS_ENV = "REPRO_SHARDS"
+SHARD_JOBS_ENV = "REPRO_SHARD_JOBS"
+SHARD_SCHEME_ENV = "REPRO_SHARD_SCHEME"
+
+SHARD_SCHEMES = ("hash", "range")
+
+# Fibonacci-style multiplicative mixer: deterministic across processes
+# (unlike Python's salted hash()) and spreads sequential integer keys.
+_HASH_MIX = np.uint64(0x9E3779B97F4A7C15)
+_HASH_SHIFT = np.uint64(29)
+
+
+def shard_count(value=None):
+    """Shard count: explicit argument, else ``REPRO_SHARDS``, else 0 (off).
+
+    Args:
+        value: desired count, or ``None`` to consult the environment.
+
+    Returns:
+        A non-negative integer; 0 means sharding is disabled.
+
+    Raises:
+        ValueError: when the argument or env value is not an integer.
+    """
+    if value is None:
+        value = os.environ.get(SHARDS_ENV, "0")
+    try:
+        value = int(value)
+    except (TypeError, ValueError):
+        raise ValueError(f"invalid shard count {value!r}") from None
+    return max(0, value)
+
+
+def shard_jobs(value=None):
+    """Shard worker processes: argument, else ``REPRO_SHARD_JOBS``, else 1.
+
+    1 (the default) keeps all per-shard work serial and in-process; the
+    process pool only exists at 2 and above.
+    """
+    if value is None:
+        value = os.environ.get(SHARD_JOBS_ENV, "1")
+    try:
+        value = int(value)
+    except (TypeError, ValueError):
+        raise ValueError(f"invalid shard job count {value!r}") from None
+    return max(1, value)
+
+
+def shard_scheme(value=None):
+    """Partitioning scheme: argument, else ``REPRO_SHARD_SCHEME``, else hash."""
+    if value is None:
+        value = os.environ.get(SHARD_SCHEME_ENV, "hash")
+    value = str(value).strip().lower()
+    if value not in SHARD_SCHEMES:
+        raise ValueError(
+            f"invalid shard scheme {value!r}; expected one of {SHARD_SCHEMES}"
+        )
+    return value
+
+
+def hash_assignment(values, shards):
+    """Shard id of every row under hash partitioning of ``values``.
+
+    Integer-like key columns are mixed directly; any other dtype
+    (strings, floats) is first mapped to dense ranks via ``np.unique``
+    so the assignment depends only on the values — deterministic across
+    processes and runs, unlike the interpreter's salted ``hash()``.
+    """
+    values = np.asarray(values)
+    if shards <= 1:
+        return np.zeros(len(values), dtype=np.int64)
+    if values.dtype.kind in "iu":
+        keys = values.astype(np.uint64, copy=False)
+    else:
+        _, inverse = np.unique(values, return_inverse=True)
+        keys = inverse.astype(np.uint64)
+    mixed = keys * _HASH_MIX
+    mixed = mixed ^ (mixed >> _HASH_SHIFT)
+    return (mixed % np.uint64(shards)).astype(np.int64)
+
+
+def range_assignment(row_count, shards):
+    """Shard id of every row under contiguous range partitioning.
+
+    Shard sizes follow the ``np.array_split`` convention: the first
+    ``row_count % shards`` shards hold one extra row.
+    """
+    if shards <= 1:
+        return np.zeros(row_count, dtype=np.int64)
+    base, extra = divmod(row_count, shards)
+    sizes = [base + 1 if i < extra else base for i in range(shards)]
+    return np.repeat(np.arange(shards, dtype=np.int64), sizes)
+
+
+def compare_values(values, op, literal):
+    """Elementwise comparison mask (same semantics as the executor's)."""
+    if op == "=":
+        return values == literal
+    if op == "<>":
+        return values != literal
+    if op == "<":
+        return values < literal
+    if op == "<=":
+        return values <= literal
+    if op == ">":
+        return values > literal
+    if op == ">=":
+        return values >= literal
+    raise ValueError(f"unsupported comparison operator {op!r}")
+
+
+@dataclass
+class ValueCountSketch:
+    """Mergeable distinct-count + histogram sketch of one shard's column.
+
+    ``values``/``counts`` are exactly ``np.unique(shard_values,
+    return_counts=True)``.  The sketch is *exact*, which is what lets
+    shard-merged statistics equal unsharded statistics bit for bit; it
+    is "a sketch" in the mergeability sense — per-shard sketches are
+    small relative to the shard and merge associatively.
+    """
+
+    values: np.ndarray
+    counts: np.ndarray
+    row_count: int
+
+    @classmethod
+    def from_values(cls, values):
+        """The sketch of one shard's raw values."""
+        values = np.asarray(values)
+        uniques, counts = np.unique(values, return_counts=True)
+        return cls(uniques, counts.astype(np.int64), len(values))
+
+    @staticmethod
+    def merge(sketches):
+        """Merge per-shard sketches into the whole column's sketch.
+
+        Equal to ``from_values`` over the concatenated shards: the
+        merged value set is the sorted union and every count is the
+        integer sum of the per-shard counts.
+        """
+        sketches = list(sketches)
+        if not sketches:
+            return ValueCountSketch(
+                np.array([]), np.array([], dtype=np.int64), 0
+            )
+        if len(sketches) == 1:
+            one = sketches[0]
+            return ValueCountSketch(
+                one.values, one.counts.astype(np.int64), int(one.row_count)
+            )
+        all_values = np.concatenate([s.values for s in sketches])
+        all_counts = np.concatenate([s.counts for s in sketches])
+        values, inverse = np.unique(all_values, return_inverse=True)
+        counts = np.round(
+            np.bincount(inverse, weights=all_counts, minlength=len(values))
+        ).astype(np.int64)
+        return ValueCountSketch(
+            values, counts, int(sum(int(s.row_count) for s in sketches))
+        )
+
+
+class ShardedTable(Table):
+    """A table horizontally partitioned into hash or range shards.
+
+    Canonical storage (full per-column arrays, byte sizes, ``take``)
+    is inherited unchanged from :class:`Table`; the shards are row-id
+    partitions over it.  ``append_rows`` re-partitions from scratch —
+    the assignment is a pure function of the (new) data, so resharding
+    is deterministic — and the inherited behaviour of concatenating
+    into *new* arrays keeps every identity-validated cache (dictionary
+    entries, shared-memory segments) safely stale.
+    """
+
+    def __init__(self, schema, columns=None, shards=1, scheme="hash",
+                 partition_column=None):
+        super().__init__(schema, columns)
+        shards = int(shards)
+        if shards < 1:
+            raise CatalogError(
+                f"table {schema.name!r} needs at least one shard"
+            )
+        if scheme not in SHARD_SCHEMES:
+            raise CatalogError(
+                f"unknown shard scheme {scheme!r} for table {schema.name!r}"
+            )
+        if partition_column is None:
+            if schema.primary_key:
+                partition_column = schema.primary_key[0]
+            else:
+                partition_column = schema.columns[0].name
+        self.shards = shards
+        self.scheme = scheme
+        self.partition_column = partition_column
+        self._reshard()
+
+    def _reshard(self):
+        """(Re)compute the row→shard assignment over the current arrays."""
+        if self.scheme == "range":
+            assignment = range_assignment(self.row_count, self.shards)
+            # Contiguous shards: the identity order is implicit (None),
+            # so shard columns are zero-copy slices.
+            self._order = None
+        else:
+            assignment = hash_assignment(
+                self.column(self.partition_column), self.shards
+            )
+            self._order = np.argsort(assignment, kind="stable").astype(
+                np.int64
+            )
+        counts = np.bincount(assignment, minlength=self.shards)
+        self._bounds = np.concatenate(
+            ([0], np.cumsum(counts))
+        ).astype(np.int64)
+        self._assignment = assignment
+
+    def append_rows(self, columns):
+        appended = super().append_rows(columns)
+        self._reshard()
+        return appended
+
+    # Shards derive deterministically from the data; recompute on
+    # unpickle instead of persisting the permutation arrays.
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        for transient in ("_assignment", "_order", "_bounds"):
+            state.pop(transient, None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._reshard()
+
+    @property
+    def shard_order(self):
+        """Row permutation grouping rows by shard (``None`` for range)."""
+        return self._order
+
+    def shard_bounds(self, shard):
+        """``(lo, hi)`` bounds of a shard within the shard order."""
+        return int(self._bounds[shard]), int(self._bounds[shard + 1])
+
+    def shard_lengths(self):
+        """Row count of every shard, in shard order."""
+        return [int(n) for n in np.diff(self._bounds)]
+
+    def shard_row_ids(self, shard):
+        """Row ids of one shard (ascending for range shards)."""
+        lo, hi = self.shard_bounds(shard)
+        if self._order is None:
+            return np.arange(lo, hi, dtype=np.int64)
+        return self._order[lo:hi]
+
+    def shard_column(self, shard, name):
+        """One shard's slice of a column (zero-copy for range shards)."""
+        column = self.column(name)
+        lo, hi = self.shard_bounds(shard)
+        if self._order is None:
+            return column[lo:hi]
+        return column[self._order[lo:hi]]
+
+    def column_sketch(self, name, shard):
+        """The :class:`ValueCountSketch` of one shard of a column."""
+        return ValueCountSketch.from_values(self.shard_column(shard, name))
+
+
+# ----------------------------------------------------------------------
+# Process-pool workers.  Top-level functions (picklable by reference);
+# column data arrives through named shared-memory segments, attached
+# once per worker process and cached in a process-local dict.
+
+_ATTACHED = {}   # segment name -> (SharedMemory, ndarray); per process
+
+
+def _attach(spec):
+    """The ndarray behind a ``(name, dtype, shape)`` segment spec."""
+    name, dtype, shape = spec
+    cached = _ATTACHED.get(name)
+    if cached is None:
+        segment = shared_memory.SharedMemory(name=name)
+        # Workers spawned by the pool share the parent's resource
+        # tracker, so attaching re-registers the same name into the
+        # same tracker set (CPython bpo-39959) and the parent's
+        # explicit unlink is the single cleanup point — no worker-side
+        # unregister, or the shared entry would be removed twice.
+        array = np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf)
+        cached = (segment, array)
+        _ATTACHED[name] = cached
+    return cached[1]
+
+
+def _shard_values(spec, order_spec, lo, hi):
+    """One shard's values: a slice (range) or a gather via the order."""
+    array = _attach(spec)
+    if order_spec is None:
+        return array[lo:hi]
+    order = _attach(order_spec)
+    return array[order[lo:hi]]
+
+
+def _mask_task(col_specs, ops, order_spec, lo, hi):
+    """Combined filter mask of one shard (AND over all predicates)."""
+    keep = None
+    for spec, (op, literal) in zip(col_specs, ops):
+        part = compare_values(_shard_values(spec, order_spec, lo, hi),
+                              op, literal)
+        keep = part if keep is None else keep & part
+    return keep
+
+
+def _isin_task(spec, allowed, order_spec, lo, hi):
+    """Semijoin membership mask of one shard."""
+    return np.isin(_shard_values(spec, order_spec, lo, hi), allowed)
+
+
+def _sketch_task(spec, order_spec, lo, hi):
+    """The value/count sketch of one shard."""
+    values = _shard_values(spec, order_spec, lo, hi)
+    uniques, counts = np.unique(values, return_counts=True)
+    return uniques, counts.astype(np.int64), int(hi - lo)
+
+
+def _release_segments(segments):
+    """Close and unlink every registered segment (finalizer-safe)."""
+    for _array, segment, _spec in list(segments.values()):
+        try:
+            segment.close()
+            segment.unlink()
+        except (OSError, FileNotFoundError):
+            pass
+    segments.clear()
+
+
+class ShardRuntime:
+    """Shard-parallel primitives with a deterministic shard-order reduction.
+
+    One runtime per :class:`~repro.engine.database.Database` (created
+    when ``REPRO_SHARDS`` is nonzero).  All three entry points —
+    :meth:`filter_mask`, :meth:`isin_mask`, :meth:`column_sketches` —
+    compute per-shard results (serially, or on the process pool over
+    shared-memory arrays) and reduce them in shard order, so the output
+    is byte-identical to the unsharded computation regardless of
+    worker scheduling.
+
+    Shared-memory segments are registered per storage array and swept
+    by :meth:`invalidate` (wired into ``Database.invalidate_caches``);
+    a :mod:`weakref` finalizer releases anything still registered when
+    the runtime (or the interpreter) goes away.
+    """
+
+    def __init__(self, jobs=None):
+        self.jobs = shard_jobs(jobs)
+        self._lock = threading.Lock()
+        # id(array) -> (array, SharedMemory, spec); the strong array
+        # reference keeps the id stable for the entry's lifetime.
+        self._segments = {}
+        self._pool = None
+        self._finalizer = weakref.finalize(
+            self, _release_segments, self._segments
+        )
+
+    # ------------------------------------------------------------------
+    # Pool and segment plumbing
+
+    def _ensure_pool(self):
+        if self.jobs <= 1:
+            return None
+        with self._lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.jobs,
+                    mp_context=get_context("spawn"),
+                )
+            return self._pool
+
+    def _share(self, array):
+        """Register ``array`` in shared memory; its spec, or ``None``.
+
+        Object-dtype (string) columns cannot live in shared memory and
+        return ``None``, routing the caller to the serial path.
+        """
+        if array.dtype.hasobject:
+            return None
+        key = id(array)
+        with self._lock:
+            entry = self._segments.get(key)
+            if entry is not None and entry[0] is array:
+                return entry[2]
+        segment = shared_memory.SharedMemory(
+            create=True, size=max(1, int(array.nbytes))
+        )
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+        view[:] = array
+        spec = (segment.name, array.dtype.str, array.shape)
+        with self._lock:
+            self._segments[key] = (array, segment, spec)
+        obs.counter_add("sharding.bytes_shared", int(array.nbytes))
+        return spec
+
+    def _order_spec(self, table):
+        """Shared spec of the shard order, or ``(None, ok)`` for range."""
+        order = table.shard_order
+        if order is None:
+            return None, True
+        spec = self._share(order)
+        return spec, spec is not None
+
+    def _submit(self, pool, task, per_shard_args, table):
+        """Fan one task over all shards; results in shard order."""
+        futures = [
+            pool.submit(task, *args, lo, hi)
+            for args, (lo, hi) in zip(
+                per_shard_args,
+                (table.shard_bounds(i) for i in range(table.shards)),
+            )
+        ]
+        obs.counter_add("sharding.pool_tasks", len(futures))
+        return [future.result() for future in futures]
+
+    def _scatter(self, table, shard_results, out):
+        """Deterministic shard-order reduction into a full-length array."""
+        for shard, result in enumerate(shard_results):
+            lo, hi = table.shard_bounds(shard)
+            if table.shard_order is None:
+                out[lo:hi] = result
+            else:
+                out[table.shard_order[lo:hi]] = result
+        return out
+
+    # ------------------------------------------------------------------
+    # Shard-parallel primitives
+
+    def filter_mask(self, table, specs):
+        """Full-length AND mask of ``[(column, op, literal), ...]``.
+
+        Byte-identical to evaluating every predicate over the full
+        column arrays: each shard's mask is computed elementwise over
+        its rows and scattered back through the shard permutation.
+        """
+        obs.counter_add("sharding.shards_scanned", table.shards)
+        out = np.empty(table.row_count, dtype=bool)
+        pool = self._ensure_pool()
+        if pool is not None:
+            col_specs = [self._share(table.column(name))
+                         for name, _, _ in specs]
+            order_spec, order_ok = self._order_spec(table)
+            if order_ok and all(spec is not None for spec in col_specs):
+                ops = [(op, literal) for _, op, literal in specs]
+                results = self._submit(
+                    pool, _mask_task,
+                    [(col_specs, ops, order_spec)] * table.shards,
+                    table,
+                )
+                return self._scatter(table, results, out)
+        results = []
+        for shard in range(table.shards):
+            keep = None
+            for name, op, literal in specs:
+                part = compare_values(
+                    table.shard_column(shard, name), op, literal
+                )
+                keep = part if keep is None else keep & part
+            results.append(keep)
+        return self._scatter(table, results, out)
+
+    def isin_mask(self, table, column, allowed):
+        """Full-length ``np.isin(column, allowed)`` mask, shard by shard."""
+        obs.counter_add("sharding.shards_scanned", table.shards)
+        out = np.empty(table.row_count, dtype=bool)
+        pool = self._ensure_pool()
+        if pool is not None:
+            spec = self._share(table.column(column))
+            order_spec, order_ok = self._order_spec(table)
+            if spec is not None and order_ok:
+                results = self._submit(
+                    pool, _isin_task,
+                    [(spec, allowed, order_spec)] * table.shards,
+                    table,
+                )
+                return self._scatter(table, results, out)
+        results = [
+            np.isin(table.shard_column(shard, column), allowed)
+            for shard in range(table.shards)
+        ]
+        return self._scatter(table, results, out)
+
+    def column_sketches(self, table, column):
+        """Per-shard :class:`ValueCountSketch` list, in shard order."""
+        obs.counter_add("sharding.shards_scanned", table.shards)
+        pool = self._ensure_pool()
+        if pool is not None:
+            spec = self._share(table.column(column))
+            order_spec, order_ok = self._order_spec(table)
+            if spec is not None and order_ok:
+                results = self._submit(
+                    pool, _sketch_task,
+                    [(spec, order_spec)] * table.shards,
+                    table,
+                )
+                return [
+                    ValueCountSketch(values, counts, rows)
+                    for values, counts, rows in results
+                ]
+        return [
+            table.column_sketch(column, shard)
+            for shard in range(table.shards)
+        ]
+
+    def build_dictionary(self, table, column):
+        """A :class:`ColumnDictionary` assembled from per-shard sketches.
+
+        Byte-identical to ``ColumnDictionary(table.column(column))``:
+        the merged sketch *is* ``np.unique(column,
+        return_counts=True)``.  Used by a shard-aware
+        :class:`~repro.storage.encoding.DictionaryCache`.
+        """
+        from .encoding import ColumnDictionary
+
+        sketch = ValueCountSketch.merge(self.column_sketches(table, column))
+        return ColumnDictionary.from_value_counts(
+            table.column(column), sketch.values, sketch.counts
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    def invalidate(self):
+        """Release every shared-memory segment.
+
+        Wired into ``Database.invalidate_caches``: after any state
+        transition the registered arrays may no longer be a table's
+        live storage, and segments are pure caches — dropped here,
+        re-registered on demand.
+        """
+        with self._lock:
+            _release_segments(self._segments)
+        obs.counter_add("sharding.segment_invalidations")
+
+    def close(self):
+        """Release segments and shut the worker pool down."""
+        self.invalidate()
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)

@@ -30,3 +30,24 @@ class DictEncodedDatabase:
     def append(self, name, rows):
         self.tables[name].extend(rows)
         self._dict_cache = {}
+
+
+class ShardedDatabase:
+    """Invalidating the shard runtime by hand is not invalidate_caches."""
+
+    def __init__(self):
+        self.tables = {}
+        self._shard_runtime = ShardRuntime()
+
+    def invalidate_caches(self):
+        self._plan_cache = {}
+        self._shard_runtime.invalidate()
+
+    def load_partition(self, name, rows):
+        self.tables[name].append_rows(rows)
+        self._shard_runtime.invalidate()
+
+
+class ShardRuntime:
+    def invalidate(self):
+        pass

@@ -44,6 +44,27 @@ class DictCache:
         pass
 
 
+class ShardedDatabase:
+    """Shared-memory segments released through the invalidate_caches path."""
+
+    def __init__(self):
+        self.tables = {}
+        self._shard_runtime = ShardRuntime()
+
+    def invalidate_caches(self):
+        self._plan_cache = {}
+        self._shard_runtime.invalidate()
+
+    def load_partition(self, name, rows):
+        self.tables[name].append_rows(rows)
+        self.invalidate_caches()
+
+
+class ShardRuntime:
+    def invalidate(self):
+        pass
+
+
 class NotADatabase:
     """Defines no invalidate_caches, so INV001 never applies to it."""
 

@@ -20,3 +20,18 @@ class Service:
     def _bump(self, item):
         self.total = self.total + 1
         return item
+
+
+class ShardService:
+    """Per-shard workers racing on shared scatter accounting."""
+
+    def __init__(self, pool):
+        self._pool = pool
+        self.bytes_shared = 0
+
+    def scatter(self, shards):
+        def scan(shard):
+            self.bytes_shared += shard.nbytes
+            return shard
+
+        return [self._pool.submit(scan, shard) for shard in shards]

@@ -24,3 +24,22 @@ class Service:
 
 class Box:
     value = None
+
+
+class ShardService:
+    """Shard-worker accounting guarded; segment map keyed locally."""
+
+    def __init__(self, pool):
+        self._pool = pool
+        self._lock = threading.Lock()
+        self.bytes_shared = 0
+
+    def scatter(self, shards):
+        def scan(shard):
+            with self._lock:
+                self.bytes_shared += shard.nbytes
+            segments = {}
+            segments[shard.name] = shard
+            return segments
+
+        return [self._pool.submit(scan, shard) for shard in shards]

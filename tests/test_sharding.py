@@ -1,0 +1,397 @@
+"""Sharded storage and the shard runtime: partitioning, parity, knobs.
+
+The contract under test everywhere here is **byte-identity**: sharding
+is a physical-layout knob, so every observable — query rows, virtual
+elapsed times, estimates, statistics, costs — must be identical with
+``REPRO_SHARDS`` on or off, for both schemes and with the worker pool
+on or off.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from conftest import load_city_database
+
+from repro.common.errors import CatalogError
+from repro.engine.configuration import (
+    Configuration,
+    one_column_configuration,
+)
+from repro.engine.systems import system_a
+from repro.optimizer import cost_model as cm
+from repro.storage.sharding import (
+    SHARD_JOBS_ENV,
+    SHARD_SCHEME_ENV,
+    SHARDS_ENV,
+    ShardedTable,
+    ShardRuntime,
+    ValueCountSketch,
+    hash_assignment,
+    range_assignment,
+    shard_count,
+    shard_jobs,
+    shard_scheme,
+)
+from repro.storage.table import Table
+
+
+def make_sharded(shards=3, scheme="hash", rows=200, seed=7):
+    """A small sharded orders-like table over mixed dtypes."""
+    from conftest import make_city_catalog
+
+    schema = make_city_catalog().table("orders")
+    rng = np.random.default_rng(seed)
+    columns = {
+        "oid": np.arange(rows, dtype=np.int64),
+        "uid": rng.integers(0, 40, rows),
+        "city": rng.choice(
+            np.array(["tor", "mtl", "van"], dtype=object), rows
+        ),
+        "amount": rng.integers(1, 100, rows),
+    }
+    return ShardedTable(schema, columns, shards=shards, scheme=scheme)
+
+
+# ----------------------------------------------------------------------
+# Environment knobs
+
+
+def test_shard_count_knob(monkeypatch):
+    monkeypatch.delenv(SHARDS_ENV, raising=False)
+    assert shard_count() == 0
+    monkeypatch.setenv(SHARDS_ENV, "4")
+    assert shard_count() == 4
+    assert shard_count(7) == 7
+    assert shard_count(-2) == 0
+    with pytest.raises(ValueError):
+        shard_count("four")
+
+
+def test_shard_jobs_knob(monkeypatch):
+    monkeypatch.delenv(SHARD_JOBS_ENV, raising=False)
+    assert shard_jobs() == 1
+    monkeypatch.setenv(SHARD_JOBS_ENV, "3")
+    assert shard_jobs() == 3
+    assert shard_jobs(0) == 1
+    with pytest.raises(ValueError):
+        shard_jobs("many")
+
+
+def test_shard_scheme_knob(monkeypatch):
+    monkeypatch.delenv(SHARD_SCHEME_ENV, raising=False)
+    assert shard_scheme() == "hash"
+    monkeypatch.setenv(SHARD_SCHEME_ENV, "RANGE")
+    assert shard_scheme() == "range"
+    with pytest.raises(ValueError):
+        shard_scheme("round-robin")
+
+
+# ----------------------------------------------------------------------
+# Assignments
+
+
+def test_hash_assignment_is_deterministic_and_bounded():
+    keys = np.arange(1000, dtype=np.int64)
+    a = hash_assignment(keys, 7)
+    b = hash_assignment(keys, 7)
+    assert np.array_equal(a, b)
+    assert a.min() >= 0 and a.max() < 7
+    # Every shard gets a nontrivial share of sequential keys.
+    assert len(np.unique(a)) == 7
+
+
+def test_hash_assignment_object_dtype_uses_value_ranks():
+    values = np.array(["b", "a", "b", "c", "a"], dtype=object)
+    a = hash_assignment(values, 3)
+    # Equal values always land on the same shard.
+    assert a[0] == a[2] and a[1] == a[4]
+    assert np.array_equal(a, hash_assignment(values, 3))
+
+
+def test_single_shard_assignments_are_all_zero():
+    assert hash_assignment(np.arange(5), 1).tolist() == [0] * 5
+    assert range_assignment(5, 1).tolist() == [0] * 5
+
+
+def test_range_assignment_split_convention():
+    a = range_assignment(10, 3)
+    # np.array_split convention: first 10 % 3 shards get the extra row.
+    assert np.bincount(a).tolist() == [4, 3, 3]
+    assert np.array_equal(np.sort(a), a)
+
+
+# ----------------------------------------------------------------------
+# ShardedTable invariants
+
+
+@pytest.mark.parametrize("scheme", ["hash", "range"])
+@pytest.mark.parametrize("shards", [1, 3, 7])
+def test_shards_partition_all_rows(scheme, shards):
+    table = make_sharded(shards=shards, scheme=scheme)
+    lengths = table.shard_lengths()
+    assert sum(lengths) == table.row_count
+    ids = np.concatenate(
+        [table.shard_row_ids(i) for i in range(shards)]
+    )
+    assert np.array_equal(np.sort(ids), np.arange(table.row_count))
+    for shard in range(shards):
+        expected = table.column("uid")[table.shard_row_ids(shard)]
+        assert np.array_equal(table.shard_column(shard, "uid"), expected)
+
+
+def test_sharded_table_rejects_bad_parameters():
+    from conftest import make_city_catalog
+
+    schema = make_city_catalog().table("users")
+    with pytest.raises(CatalogError):
+        ShardedTable(schema, shards=0)
+    with pytest.raises(CatalogError):
+        ShardedTable(schema, shards=2, scheme="modulo")
+
+
+def test_partition_column_defaults_to_primary_key():
+    table = make_sharded()
+    assert table.partition_column == "oid"
+
+
+def test_append_rows_reshards():
+    table = make_sharded(shards=3, scheme="hash", rows=60)
+    before = table.shard_lengths()
+    table.append_rows({
+        "oid": np.arange(60, 90, dtype=np.int64),
+        "uid": np.arange(30, dtype=np.int64),
+        "city": np.array(["tor"] * 30, dtype=object),
+        "amount": np.ones(30, dtype=np.int64),
+    })
+    after = table.shard_lengths()
+    assert sum(after) == 90
+    assert sum(before) == 60
+    # The assignment is a pure function of the data: identical to a
+    # fresh table built from the appended arrays.
+    fresh = ShardedTable(
+        table.schema,
+        {name: table.column(name) for name in table.column_names()},
+        shards=3, scheme="hash",
+    )
+    assert np.array_equal(table._assignment, fresh._assignment)
+
+
+@pytest.mark.parametrize("scheme", ["hash", "range"])
+def test_pickle_round_trip_reshards_identically(scheme):
+    table = make_sharded(shards=4, scheme=scheme)
+    clone = pickle.loads(pickle.dumps(table))
+    assert clone.shard_lengths() == table.shard_lengths()
+    assert np.array_equal(clone._assignment, table._assignment)
+    for shard in range(4):
+        assert np.array_equal(
+            clone.shard_column(shard, "amount"),
+            table.shard_column(shard, "amount"),
+        )
+
+
+# ----------------------------------------------------------------------
+# ValueCountSketch
+
+
+def test_sketch_merge_equals_whole_column():
+    rng = np.random.default_rng(3)
+    parts = [rng.integers(0, 30, n) for n in (17, 0, 40, 9)]
+    merged = ValueCountSketch.merge(
+        ValueCountSketch.from_values(part) for part in parts
+    )
+    whole = ValueCountSketch.from_values(np.concatenate(parts))
+    assert np.array_equal(merged.values, whole.values)
+    assert np.array_equal(merged.counts, whole.counts)
+    assert merged.counts.dtype == np.int64
+    assert merged.row_count == whole.row_count
+
+
+def test_sketch_merge_of_nothing_is_empty():
+    merged = ValueCountSketch.merge([])
+    assert merged.row_count == 0
+    assert len(merged.values) == 0
+
+
+# ----------------------------------------------------------------------
+# ShardRuntime: serial and pooled parity
+
+
+@pytest.mark.parametrize("scheme", ["hash", "range"])
+def test_filter_and_isin_masks_match_elementwise(scheme):
+    table = make_sharded(shards=3, scheme=scheme)
+    runtime = ShardRuntime(jobs=1)
+    specs = [("uid", ">", 10), ("amount", "<=", 50)]
+    expected = (table.column("uid") > 10) & (table.column("amount") <= 50)
+    assert np.array_equal(runtime.filter_mask(table, specs), expected)
+    allowed = np.array([1, 5, 9], dtype=np.int64)
+    assert np.array_equal(
+        runtime.isin_mask(table, "uid", allowed),
+        np.isin(table.column("uid"), allowed),
+    )
+    # Object-dtype columns route through the serial path but still match.
+    assert np.array_equal(
+        runtime.filter_mask(table, [("city", "=", "tor")]),
+        table.column("city") == "tor",
+    )
+
+
+def test_pooled_masks_and_sketches_match_serial():
+    table = make_sharded(shards=4, scheme="hash")
+    pooled = ShardRuntime(jobs=2)
+    serial = ShardRuntime(jobs=1)
+    try:
+        specs = [("amount", ">=", 25)]
+        assert np.array_equal(
+            pooled.filter_mask(table, specs),
+            serial.filter_mask(table, specs),
+        )
+        allowed = np.arange(0, 40, 3)
+        assert np.array_equal(
+            pooled.isin_mask(table, "uid", allowed),
+            serial.isin_mask(table, "uid", allowed),
+        )
+        for a, b in zip(
+            pooled.column_sketches(table, "uid"),
+            serial.column_sketches(table, "uid"),
+        ):
+            assert np.array_equal(a.values, b.values)
+            assert np.array_equal(a.counts, b.counts)
+            assert a.row_count == b.row_count
+        # Segments are registered while pooled work is in flight and
+        # swept by invalidate().
+        assert pooled._segments
+        pooled.invalidate()
+        assert not pooled._segments
+    finally:
+        pooled.close()
+        serial.close()
+
+
+def test_build_dictionary_matches_direct_construction():
+    from repro.storage.encoding import ColumnDictionary
+
+    table = make_sharded(shards=3, scheme="hash")
+    runtime = ShardRuntime(jobs=1)
+    built = runtime.build_dictionary(table, "uid")
+    direct = ColumnDictionary(table.column("uid"))
+    assert np.array_equal(built.values, direct.values)
+    assert np.array_equal(built.counts, direct.counts)
+    assert np.array_equal(built.codes, direct.codes)
+
+
+# ----------------------------------------------------------------------
+# Cost model: apportionment and conservation
+
+
+def test_shard_counts_conserve_the_total():
+    parts = cm.shard_counts(10, [4, 3, 3])
+    assert sum(parts) == 10
+    assert parts == [4, 3, 3]
+    assert cm.shard_counts(7, [1, 1, 1]) == [3, 2, 2]
+    assert cm.shard_counts(5, [0, 0]) == [5, 0]
+
+
+def test_sharded_seq_scan_charges_the_total_formula():
+    hw = system_a().hardware
+    shard_rows = [40, 35, 25]
+    assert cm.sharded_seq_scan(hw, 12, 100, shard_rows) \
+        == cm.seq_scan(hw, 12, 100)
+    with pytest.raises(ValueError):
+        cm.sharded_seq_scan(hw, 12, 100, [40, 35])
+
+
+# ----------------------------------------------------------------------
+# Configuration fingerprints
+
+
+def test_fingerprint_unchanged_when_shards_zero():
+    config = Configuration(name="P")
+    assert config.shards == 0
+    assert config.fingerprint == Configuration(name="P").fingerprint
+
+
+def test_with_shards_changes_the_fingerprint_and_propagates():
+    base = Configuration(name="P")
+    sharded = base.with_shards(4)
+    assert sharded.shards == 4
+    assert sharded.fingerprint != base.fingerprint
+    assert sharded.with_shards(4).fingerprint == sharded.fingerprint
+    renamed = sharded.renamed("Q")
+    assert renamed.shards == 4
+
+
+# ----------------------------------------------------------------------
+# Database end-to-end parity (REPRO_SHARDS on vs off)
+
+
+QUERIES = [
+    "SELECT COUNT(*) FROM orders o WHERE o.uid = 7",
+    "SELECT o.city, SUM(o.amount) FROM orders o WHERE o.amount > 40 "
+    "GROUP BY o.city",
+    "SELECT COUNT(*) FROM orders o, users u WHERE o.uid = u.uid "
+    "AND u.city = 'tor'",
+]
+
+
+def _run_pipeline(monkeypatch, shards, scheme="hash"):
+    if shards:
+        monkeypatch.setenv(SHARDS_ENV, str(shards))
+        monkeypatch.setenv(SHARD_SCHEME_ENV, scheme)
+    else:
+        monkeypatch.delenv(SHARDS_ENV, raising=False)
+    db = load_city_database(n_users=120, n_orders=600, seed=1)
+    out = []
+    for sql in QUERIES:
+        result = db.execute(sql)
+        out.append((result.rows(), result.elapsed, db.estimate(sql)))
+    report = db.apply_configuration(one_column_configuration(db.catalog))
+    out.append((report.build_seconds, report.total_bytes))
+    db.collect_statistics()
+    for sql in QUERIES:
+        result = db.execute(sql)
+        out.append((result.rows(), result.elapsed, db.estimate(sql)))
+    return db, out
+
+
+@pytest.mark.parametrize("scheme", ["hash", "range"])
+def test_database_results_identical_with_sharding(monkeypatch, scheme):
+    _, base = _run_pipeline(monkeypatch, shards=0)
+    db, sharded = _run_pipeline(monkeypatch, shards=3, scheme=scheme)
+    assert repr(sharded) == repr(base)
+    assert isinstance(db.table("orders"), ShardedTable)
+    assert db.table("orders").shards == 3
+
+
+def test_database_fingerprint_records_shard_count(monkeypatch):
+    base_db, _ = _run_pipeline(monkeypatch, shards=0)
+    sharded_db, _ = _run_pipeline(monkeypatch, shards=3)
+    assert base_db.configuration_fingerprint \
+        != sharded_db.configuration_fingerprint
+
+
+def test_invalidate_caches_sweeps_shard_segments(monkeypatch):
+    monkeypatch.setenv(SHARDS_ENV, "2")
+    db = load_city_database(n_users=50, n_orders=100, seed=2)
+    runtime = db._shard_runtime
+    assert runtime is not None
+    # Force a segment registration, then invalidate through the db.
+    runtime._share(db.table("orders").column("uid"))
+    assert runtime._segments
+    db.invalidate_caches()
+    assert not runtime._segments
+
+
+def test_unsharded_database_has_no_runtime(monkeypatch):
+    monkeypatch.delenv(SHARDS_ENV, raising=False)
+    db = load_city_database(n_users=50, n_orders=100, seed=2)
+    assert db._shard_runtime is None
+    assert not isinstance(db.table("orders"), ShardedTable)
+    assert isinstance(db.table("orders"), Table)
+
+
+def test_env_knobs_read_at_construction_not_query_time(monkeypatch):
+    monkeypatch.setenv(SHARDS_ENV, "2")
+    db = load_city_database(n_users=50, n_orders=100, seed=2)
+    monkeypatch.setenv(SHARDS_ENV, "5")
+    assert db.table("orders").shards == 2
