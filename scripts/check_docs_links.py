@@ -1,36 +1,60 @@
 #!/usr/bin/env python3
-"""Check that relative markdown links in the docs resolve.
+"""Check that the docs form a sound, fully connected link graph.
+
+Three classes of failure, each one line on stderr:
+
+* **broken links** — a relative ``[text](target)`` whose target does not
+  exist on disk (or escapes the repo);
+* **missing anchors** — a ``#fragment`` that names no heading in the
+  target markdown file.  Anchors follow GitHub slug rules, including the
+  ``-1``/``-2`` suffixes of duplicated headings, and explicit HTML
+  ``<a id="...">``/``<a name="...">`` anchors are honored;
+* **orphan pages** — a ``docs/*.md`` file no link chain starting at
+  ``README.md`` can reach.  A page nothing points to is dead weight:
+  readers cannot discover it and it silently rots.
 
 Scans ``README.md``, ``EXPERIMENTS.md``, ``DESIGN.md``, ``CHANGES.md``
-and every ``docs/*.md`` for inline links ``[text](target)``, and fails
-if a relative target does not exist on disk. External links
-(``http(s)://``, ``mailto:``) are skipped; ``#fragment`` anchors are
-checked against the target file's headings when the file is markdown.
+and every ``docs/*.md``.  External links (``http(s)://``, ``mailto:``)
+are skipped.
 
 Usage::
 
     python scripts/check_docs_links.py [repo_root]
 
-Exit status 0 when every link resolves, 1 otherwise (one line per
-broken link).
+Exit status 0 when every link resolves and no page is orphaned, 1
+otherwise.
 """
 
 import pathlib
 import re
 import sys
+from collections import deque
 
 LINK_RE = re.compile(r"(?<!!)\[[^\]]+\]\(([^)\s]+)\)")
 HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+HTML_ANCHOR_RE = re.compile(
+    r"""<a\s+(?:id|name)=["']([^"']+)["']""", re.IGNORECASE
+)
 SKIP_PREFIXES = ("http://", "https://", "mailto:")
 
 
 def heading_anchors(markdown_text):
-    """GitHub-style anchor slugs of every heading in a markdown string."""
+    """GitHub-style anchor slugs available in a markdown string.
+
+    Covers heading slugs (lowercased, punctuation stripped, spaces to
+    hyphens), the ``-1``/``-2``… suffixes GitHub appends when the same
+    heading text occurs more than once, and explicit ``<a id=...>`` /
+    ``<a name=...>`` HTML anchors.
+    """
     anchors = set()
+    seen = {}
     for heading in HEADING_RE.findall(markdown_text):
         text = re.sub(r"[`*_]", "", heading).strip().lower()
         slug = re.sub(r"[^\w\- ]", "", text).replace(" ", "-")
-        anchors.add(slug)
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        anchors.add(slug if count == 0 else f"{slug}-{count}")
+    anchors.update(HTML_ANCHOR_RE.findall(markdown_text))
     return anchors
 
 
@@ -40,6 +64,51 @@ def iter_doc_files(root):
         if path.exists():
             yield path
     yield from sorted((root / "docs").glob("*.md"))
+
+
+def markdown_targets(path, root):
+    """Resolved in-repo markdown files that ``path`` links to."""
+    targets = set()
+    for match in LINK_RE.finditer(path.read_text(encoding="utf-8")):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        target_path, _, _ = target.partition("#")
+        if not target_path:
+            continue
+        resolved = (path.parent / target_path).resolve()
+        try:
+            resolved.relative_to(root.resolve())
+        except ValueError:
+            continue
+        if resolved.suffix == ".md" and resolved.exists():
+            targets.add(resolved)
+    return targets
+
+
+def find_orphans(root):
+    """``docs/*.md`` files unreachable from ``README.md`` by links.
+
+    Walks the link graph breadth-first from the README (following only
+    in-repo markdown links); every docs page must be on some path from
+    it — directly, or through another reachable page.
+    """
+    readme = root / "README.md"
+    if not readme.exists():
+        return []
+    reachable = set()
+    queue = deque([readme.resolve()])
+    while queue:
+        page = queue.popleft()
+        if page in reachable:
+            continue
+        reachable.add(page)
+        queue.extend(markdown_targets(page, root))
+    return [
+        page
+        for page in sorted((root / "docs").glob("*.md"))
+        if page.resolve() not in reachable
+    ]
 
 
 def check_file(path, root):
@@ -80,11 +149,16 @@ def main(argv=None):
     for path in iter_doc_files(root):
         checked += 1
         problems.extend(check_file(path, root))
+    for orphan in find_orphans(root):
+        problems.append(
+            f"{orphan}: orphan page — unreachable from README.md "
+            f"(add a link from the README or another linked page)"
+        )
     for problem in problems:
         print(problem, file=sys.stderr)
     if problems:
         return 1
-    print(f"docs links OK ({checked} files checked)")
+    print(f"docs links OK ({checked} files checked, no orphans)")
     return 0
 
 

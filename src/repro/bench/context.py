@@ -94,11 +94,15 @@ class BenchSettings:
 class BenchContext:
     """Fingerprint-keyed store of databases, workloads, and measurements."""
 
-    def __init__(self, settings=None, artifacts=None):
+    def __init__(self, settings=None, artifacts=None, executor=None):
         self.settings = settings or BenchSettings.from_env()
         self.artifacts = artifacts or ArtifactCache()
         self.timings = StageTimings()
         self.jobs = resolve_jobs(self.settings.jobs or None)
+        # Optional borrowed worker pool: measurement sessions created by
+        # this context run on it instead of private pools (the tuning
+        # server shares one executor across every tenant's context).
+        self.executor = executor
         # Horizontal partitioning (REPRO_SHARDS; 0 = off).  Results are
         # byte-identical either way, but a *database* artifact holds
         # sharded (or unsharded) storage, so its key carries the count.
@@ -261,7 +265,9 @@ class BenchContext:
                 system=system_name, family=family,
                 configuration=config_name,
             ):
-                with MeasurementSession(db, jobs=self.jobs) as session:
+                with MeasurementSession(
+                    db, jobs=self.jobs, executor=self.executor
+                ) as session:
                     return session.measure(
                         workload,
                         timeout=self.settings.timeout,

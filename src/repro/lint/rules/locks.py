@@ -10,9 +10,11 @@ wrong, which for a measurement framework is the worst kind of bug.
 
 Mechanically: for every callable submitted to ``map_batch`` /
 ``submit`` / ``_map`` (or ``.map`` on a receiver whose name mentions a
-pool or executor), this rule inspects the callable's body — following
-``self.method()`` calls into methods of the enclosing class, same
-file, bounded depth — and flags
+pool or executor) — an inline lambda, a nested ``def``, or a bound
+method of the enclosing class (``pool.submit(self._work, job)``) —
+this rule inspects the callable's body — following ``self.method()``
+calls into methods of the enclosing class, same file, bounded depth —
+and flags
 
 * assignments/augmented assignments to attributes whose base object is
   not local to the callable (``self.hits += 1``, ``shared.total = x``),
@@ -135,10 +137,27 @@ class LockRule(Rule):
             )
 
     def _resolve_callable(self, call):
-        """The Lambda/FunctionDef node submitted by ``call``, if local."""
+        """The Lambda/FunctionDef node submitted by ``call``, if local.
+
+        Resolves three shapes: an inline lambda, a plain name bound by
+        an enclosing ``def`` (the nested-worker idiom), and a bound
+        method of the enclosing class (``pool.submit(self._work, job)``
+        — the long-lived-service idiom, where the worker body lives in
+        a method rather than a closure).
+        """
         arg = call.args[0]
         if isinstance(arg, ast.Lambda):
             return arg
+        if isinstance(arg, ast.Attribute) \
+                and isinstance(arg.value, ast.Name) \
+                and arg.value.id in ("self", "cls"):
+            cls = _enclosing(call, ast.ClassDef)
+            if cls is not None:
+                for stmt in cls.body:
+                    if isinstance(stmt, ast.FunctionDef) \
+                            and stmt.name == arg.attr:
+                        return stmt
+            return None
         if not isinstance(arg, ast.Name):
             return None
         scope = _enclosing(call, (ast.FunctionDef, ast.Module))

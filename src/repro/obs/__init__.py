@@ -43,6 +43,7 @@ from .recorder import (
 from .report import (
     REPORT_SCHEMA_ID,
     build_run_report,
+    canonicalize_run_report,
     render_metrics,
     render_text,
     write_report,
@@ -77,6 +78,7 @@ __all__ = [
     "Span",
     "TraceRecorder",
     "build_run_report",
+    "canonicalize_run_report",
     "counter_add",
     "event",
     "gauge_set",

@@ -18,6 +18,7 @@ human-oriented ``--stats``/``--metrics`` console output, so the printed
 numbers can never drift from the exported ones.
 """
 
+import copy
 import json
 
 REPORT_SCHEMA_ID = "repro.report/v1"
@@ -84,6 +85,31 @@ def build_run_report(context, recorder=None, experiments=None):
         "metrics": metrics,
         "measurements": measurements,
     }
+
+
+def canonicalize_run_report(report):
+    """A deep copy of ``report`` with wall-clock durations zeroed.
+
+    Everything in a run report is deterministic — fingerprints, virtual
+    seconds, cache and engine counters — *except* the wall-clock
+    ``stages.*.seconds`` accounting, which necessarily differs between
+    two runs of the same work.  The canonical form zeroes exactly those
+    fields (the ``count`` per stage stays, it is deterministic), so two
+    reports of the same run can be compared byte-for-byte after
+    :func:`write_report`-style serialization.  This is how CI and the
+    tuning server prove that a report served over HTTP describes the
+    same run as the one-shot CLI's ``--report`` file.
+
+    Args:
+        report: a dict matching :data:`repro.obs.schemas.RUN_REPORT_SCHEMA`.
+
+    Returns:
+        A new, schema-valid report dict; the input is not mutated.
+    """
+    canonical = copy.deepcopy(report)
+    for row in canonical.get("stages", {}).values():
+        row["seconds"] = 0.0
+    return canonical
 
 
 def write_report(report, path):

@@ -67,6 +67,12 @@ class MeasurementSession:
         jobs: worker-pool width (``None`` resolves ``REPRO_JOBS``).
         timeout: default per-query virtual timeout in seconds (``None``
             uses the engine default, the paper's 30 minutes).
+        executor: an externally owned ``ThreadPoolExecutor`` to borrow
+            instead of creating a private pool (used by the tuning
+            server so every tenant's sessions share one pool);
+            :meth:`close` leaves a borrowed executor running.  The
+            ``jobs`` width still gates *whether* the pool is used —
+            ``jobs=1`` stays serial even with an executor supplied.
 
     Every batch method opens a tracing span (``session.measure`` /
     ``session.estimate`` / ``session.what_if``) carrying the batch's
@@ -76,14 +82,18 @@ class MeasurementSession:
     a no-op unless a recorder is installed (see :mod:`repro.obs`).
     """
 
-    def __init__(self, database, jobs=None, timeout=None):
+    def __init__(self, database, jobs=None, timeout=None, executor=None):
         from ..engine.database import DEFAULT_TIMEOUT
 
         self.database = database
         self.jobs = resolve_jobs(jobs)
         self.timeout = DEFAULT_TIMEOUT if timeout is None else timeout
         self.timings = StageTimings()
-        self._pool = None
+        # A borrowed executor (the tuning server's shared pool) is used
+        # instead of a private one and is never shut down by close() —
+        # many sessions across many tenants share its workers.
+        self._pool = executor
+        self._owns_pool = executor is None
         self._queries_measured = 0
         self._queries_estimated = 0
         self._what_if_calls = 0
@@ -99,9 +109,10 @@ class MeasurementSession:
         return False
 
     def close(self):
-        """Shut down the worker pool (idempotent; the session object
-        stays usable and will lazily recreate the pool if reused)."""
-        if self._pool is not None:
+        """Shut down an owned worker pool (idempotent; the session object
+        stays usable and will lazily recreate the pool if reused).
+        Borrowed executors are left running for their other users."""
+        if self._pool is not None and self._owns_pool:
             self._pool.shutdown(wait=True)
             self._pool = None
 
@@ -120,6 +131,7 @@ class MeasurementSession:
                 max_workers=self.jobs,
                 thread_name_prefix="repro-session",
             )
+            self._owns_pool = True
         return list(self._pool.map(fn, items))
 
     def map_batch(self, fn, items):

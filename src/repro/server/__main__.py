@@ -1,0 +1,105 @@
+"""``python -m repro.server`` — run the tuning server.
+
+Usage::
+
+    python -m repro.server --port 8451 --jobs 4 --max-sessions 8
+
+Every flag has an environment-variable fallback (flag wins) so the
+server can be configured by a process manager without a wrapper script;
+see ``docs/server.md`` for the full table.
+"""
+
+import argparse
+import os
+import sys
+
+from .app import TuningServer
+
+
+def _env(name, default, cast):
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    return cast(raw)
+
+
+def _build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Multi-tenant configuration-tuning server.",
+    )
+    parser.add_argument(
+        "--host", default=_env("REPRO_SERVER_HOST", "127.0.0.1", str),
+        help="bind address (env REPRO_SERVER_HOST; default loopback)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=_env("REPRO_SERVER_PORT", 8451, int),
+        help="TCP port, 0 picks a free one "
+             "(env REPRO_SERVER_PORT; default 8451)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=_env("REPRO_JOBS", 0, int),
+        help="shared measurement-pool width handed to every tenant "
+             "context (env REPRO_JOBS; default 0 = serial)",
+    )
+    parser.add_argument(
+        "--workers", type=int,
+        default=_env("REPRO_SERVER_WORKERS", 2, int),
+        help="job worker threads (env REPRO_SERVER_WORKERS; default 2)",
+    )
+    parser.add_argument(
+        "--queue", type=int, default=_env("REPRO_SERVER_QUEUE", 8, int),
+        help="pending-job bound before 429 backpressure "
+             "(env REPRO_SERVER_QUEUE; default 8)",
+    )
+    parser.add_argument(
+        "--max-sessions", type=int,
+        default=_env("REPRO_SERVER_MAX_SESSIONS", 8, int),
+        help="resident tenant-session cap, LRU eviction beyond it "
+             "(env REPRO_SERVER_MAX_SESSIONS; default 8)",
+    )
+    parser.add_argument(
+        "--session-ttl", type=float,
+        default=_env("REPRO_SERVER_SESSION_TTL", 3600.0, float),
+        help="idle seconds before a session expires "
+             "(env REPRO_SERVER_SESSION_TTL; default 3600)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=_env("REPRO_CACHE_DIR", None, str),
+        help="shared on-disk artifact cache directory; keys are "
+             "tenant-scoped (env REPRO_CACHE_DIR; default off)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="log HTTP requests to stderr",
+    )
+    return parser
+
+
+def main(argv=None):
+    args = _build_parser().parse_args(argv)
+    server = TuningServer(
+        host=args.host,
+        port=args.port,
+        max_sessions=args.max_sessions,
+        session_ttl=args.session_ttl,
+        queue_capacity=args.queue,
+        workers=args.workers,
+        measure_jobs=args.jobs,
+        artifacts_dir=args.cache_dir,
+        verbose=args.verbose,
+    )
+    print(f"repro tuning server listening on {server.base_url}",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

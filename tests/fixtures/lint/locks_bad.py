@@ -35,3 +35,19 @@ class ShardService:
             return shard
 
         return [self._pool.submit(scan, shard) for shard in shards]
+
+
+class JobRunner:
+    """Long-lived service submitting a bound method as the worker."""
+
+    def __init__(self, pool):
+        self._pool = pool
+        self.completed = 0
+
+    def submit(self, job):
+        return self._pool.submit(self._execute, job)
+
+    def _execute(self, job):
+        job.run()
+        self.completed += 1
+        return job

@@ -43,3 +43,22 @@ class ShardService:
             return segments
 
         return [self._pool.submit(scan, shard) for shard in shards]
+
+
+class JobRunner:
+    """Bound-method worker: shared writes named and lock-guarded."""
+
+    def __init__(self, pool):
+        self._pool = pool
+        self._lock = threading.Lock()
+        self.completed = 0
+
+    def submit(self, job):
+        return self._pool.submit(self._execute, job)
+
+    def _execute(self, job):
+        job.status = "running"
+        job.run()
+        with self._lock:
+            self.completed += 1
+        return job

@@ -1,0 +1,110 @@
+"""Tests for scripts/check_docs_links.py (anchors + orphan detection)."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).parents[1]
+SCRIPT = REPO_ROOT / "scripts" / "check_docs_links.py"
+
+spec = importlib.util.spec_from_file_location("check_docs_links", SCRIPT)
+check_docs_links = importlib.util.module_from_spec(spec)
+sys.modules.setdefault("check_docs_links", check_docs_links)
+spec.loader.exec_module(check_docs_links)
+
+
+# ----------------------------------------------------------------------
+# Anchor slugs
+
+def test_heading_anchors_basic():
+    anchors = check_docs_links.heading_anchors(
+        "# Hello World\n## The `API` Reference!\n"
+    )
+    assert "hello-world" in anchors
+    assert "the-api-reference" in anchors
+
+
+def test_heading_anchors_duplicates_get_numeric_suffixes():
+    anchors = check_docs_links.heading_anchors(
+        "## Setup\ntext\n## Setup\nmore\n## Setup\n"
+    )
+    assert {"setup", "setup-1", "setup-2"} <= anchors
+
+
+def test_html_anchors_are_honored():
+    anchors = check_docs_links.heading_anchors(
+        'intro <a id="pinned"></a> and <a name="named"></a>\n'
+    )
+    assert "pinned" in anchors
+    assert "named" in anchors
+
+
+# ----------------------------------------------------------------------
+# File checks against a synthetic docs tree
+
+@pytest.fixture()
+def docs_tree(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "README.md").write_text(
+        "# Repo\n\nSee [guide](docs/guide.md) and "
+        "[section](docs/guide.md#usage).\n"
+    )
+    (tmp_path / "docs" / "guide.md").write_text(
+        "# Guide\n\n## Usage\n\nBack to [README](../README.md).\n"
+    )
+    return tmp_path
+
+
+def test_clean_tree_passes(docs_tree, capsys):
+    assert check_docs_links.main([str(docs_tree)]) == 0
+    assert "docs links OK" in capsys.readouterr().out
+
+
+def test_broken_link_fails(docs_tree, capsys):
+    (docs_tree / "docs" / "guide.md").write_text(
+        "# Guide\n\n## Usage\n\n[gone](missing.md)\n"
+    )
+    assert check_docs_links.main([str(docs_tree)]) == 1
+    assert "broken link: missing.md" in capsys.readouterr().err
+
+
+def test_missing_anchor_fails(docs_tree, capsys):
+    (docs_tree / "README.md").write_text(
+        "# Repo\n\n[bad](docs/guide.md#nope)\n"
+    )
+    assert check_docs_links.main([str(docs_tree)]) == 1
+    assert "missing anchor #nope" in capsys.readouterr().err
+
+
+def test_duplicate_heading_suffix_anchor_resolves(docs_tree):
+    (docs_tree / "docs" / "guide.md").write_text(
+        "# Guide\n\n## Flags\na\n## Flags\nb\n"
+    )
+    (docs_tree / "README.md").write_text(
+        "# Repo\n\n[guide](docs/guide.md) "
+        "[second flags](docs/guide.md#flags-1)\n"
+    )
+    assert check_docs_links.main([str(docs_tree)]) == 0
+
+
+def test_orphan_docs_page_fails(docs_tree, capsys):
+    (docs_tree / "docs" / "lost.md").write_text("# Lost\n")
+    assert check_docs_links.main([str(docs_tree)]) == 1
+    assert "orphan page" in capsys.readouterr().err
+
+
+def test_transitively_linked_page_is_not_orphan(docs_tree):
+    (docs_tree / "docs" / "guide.md").write_text(
+        "# Guide\n\n## Usage\n\nDetails in [deep](deep.md).\n"
+    )
+    (docs_tree / "docs" / "deep.md").write_text("# Deep\n")
+    assert check_docs_links.main([str(docs_tree)]) == 0
+
+
+# ----------------------------------------------------------------------
+# The real repository's docs must be clean
+
+def test_repository_docs_are_clean(capsys):
+    assert check_docs_links.main([str(REPO_ROOT)]) == 0

@@ -79,10 +79,11 @@ def test_invalidation_rule_negative():
 def test_lock_rule_positive():
     result = lint(FIXTURES / "locks_bad.py", "LCK001")
     messages = [f.message for f in result.findings]
-    assert len(messages) == 3
+    assert len(messages) == 4
     assert any("self.hits" in m for m in messages)
     assert any("self.total" in m for m in messages)
     assert any("self.bytes_shared" in m for m in messages)
+    assert any("self.completed" in m for m in messages)
 
 
 def test_lock_rule_negative():

@@ -1,0 +1,351 @@
+"""Tests for repro.server: sessions, queueing, HTTP, report parity."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.bench.context import BenchContext, BenchSettings
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.server import (
+    BadJobSpec,
+    ServerError,
+    SessionLimitError,
+    SessionStore,
+    TenantContext,
+    TuningClient,
+    TuningServer,
+    UnknownSessionError,
+    parse_spec,
+)
+
+TINY = dict(scale=0.02, workload_size=4)
+
+
+def tiny_settings():
+    return BenchSettings(scale=0.02, workload_size=4)
+
+
+# ----------------------------------------------------------------------
+# SessionStore: eviction, TTL, pinning
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_store_assigns_sequential_ids_and_touches_lru():
+    store = SessionStore(max_sessions=4)
+    a = store.create("acme")
+    b = store.create("biotech")
+    assert a.session_id == "s-000001"
+    assert b.session_id == "s-000002"
+    assert store.get(a.session_id) is a
+    assert len(store) == 2
+
+
+def test_store_evicts_least_recently_used_idle_session():
+    store = SessionStore(max_sessions=2)
+    a = store.create("a")
+    b = store.create("b")
+    store.get(a.session_id)            # a is now most recently used
+    c = store.create("c")              # evicts b, not a
+    assert store.get(a.session_id) is a
+    assert store.get(c.session_id) is c
+    with pytest.raises(UnknownSessionError):
+        store.get(b.session_id)
+    assert store.snapshot()["evicted"] == 1
+
+
+def test_store_never_evicts_sessions_with_jobs_in_flight():
+    store = SessionStore(max_sessions=2)
+    a = store.create("a")
+    b = store.create("b")
+    store.acquire_job(a.session_id)
+    store.acquire_job(b.session_id)
+    with pytest.raises(SessionLimitError):
+        store.create("c")
+    store.release_job(a.session_id)
+    c = store.create("c")              # now a (idle, LRU) is evictable
+    assert store.get(c.session_id) is c
+    with pytest.raises(UnknownSessionError):
+        store.get(a.session_id)
+
+
+def test_store_expires_idle_sessions_after_ttl():
+    clock = FakeClock()
+    store = SessionStore(max_sessions=4, ttl_seconds=60.0, clock=clock)
+    a = store.create("a")
+    clock.now += 30.0
+    b = store.create("b")
+    clock.now += 45.0                  # a idle 75 s > ttl; b idle 45 s
+    assert store.get(b.session_id) is b
+    with pytest.raises(UnknownSessionError):
+        store.get(a.session_id)
+    assert store.snapshot()["expired"] == 1
+
+
+def test_store_ttl_spares_pinned_sessions():
+    clock = FakeClock()
+    store = SessionStore(max_sessions=4, ttl_seconds=60.0, clock=clock)
+    a = store.create("a")
+    store.acquire_job(a.session_id)
+    clock.now += 600.0
+    assert store.get(a.session_id) is a      # pinned: not expired
+    store.release_job(a.session_id)
+    clock.now += 600.0
+    with pytest.raises(UnknownSessionError):
+        store.get(a.session_id)
+
+
+def test_remove_refuses_busy_session_then_deletes():
+    store = SessionStore(max_sessions=4)
+    a = store.create("a")
+    store.acquire_job(a.session_id)
+    with pytest.raises(SessionLimitError):
+        store.remove(a.session_id)
+    store.release_job(a.session_id)
+    store.remove(a.session_id)
+    with pytest.raises(UnknownSessionError):
+        store.get(a.session_id)
+
+
+# ----------------------------------------------------------------------
+# Tenant isolation
+
+
+def test_tenant_contexts_use_distinct_artifact_keys():
+    settings = tiny_settings()
+    acme = TenantContext("acme", settings)
+    biotech = TenantContext("biotech", settings)
+    plain = BenchContext(settings)
+    assert acme._key("workload", "A", "NREF2J") != \
+        biotech._key("workload", "A", "NREF2J")
+    assert acme._key("workload", "A", "NREF2J") != \
+        plain._key("workload", "A", "NREF2J")
+
+
+def test_two_tenants_measure_identical_results_with_isolated_caches():
+    settings = tiny_settings()
+    acme = TenantContext("acme", settings)
+    biotech = TenantContext("biotech", settings)
+    a = acme.measure("A", "NREF2J", "1C")
+    b = biotech.measure("A", "NREF2J", "1C")
+    assert a.elapsed.tolist() == b.elapsed.tolist()
+    assert a.timed_out.tolist() == b.timed_out.tolist()
+    # Isolation: each context built its own database instances.
+    assert acme.live_databases() and biotech.live_databases()
+    acme_dbs = {id(db) for _, db in acme.live_databases()}
+    biotech_dbs = {id(db) for _, db in biotech.live_databases()}
+    assert not (acme_dbs & biotech_dbs)
+
+
+# ----------------------------------------------------------------------
+# Job-spec parsing
+
+
+def test_parse_spec_experiment_and_family():
+    kind, spec = parse_spec({"experiment": "fig3"})
+    assert (kind, spec) == ("experiment", {"experiment": "fig3"})
+    kind, spec = parse_spec({"family": "NREF2J"}, default_system="B")
+    assert kind == "workload"
+    assert spec["system"] == "B"
+    assert spec["configurations"] == ["P", "1C", "R"]
+
+
+@pytest.mark.parametrize("body", [
+    "not a dict",
+    {},
+    {"experiment": "nope"},
+    {"experiment": "fig3", "family": "NREF2J"},
+    {"experiment": "ablation-budget"},
+    {"family": "NOPE"},
+    {"family": "NREF2J", "configurations": []},
+    {"family": "NREF2J", "configurations": ["P", "XX"]},
+])
+def test_parse_spec_rejects_bad_bodies(body):
+    with pytest.raises(BadJobSpec):
+        parse_spec(body)
+
+
+# ----------------------------------------------------------------------
+# HTTP end to end
+
+@pytest.fixture()
+def server():
+    with TuningServer(port=0, max_sessions=4, queue_capacity=2,
+                      workers=1) as srv:
+        yield srv
+
+
+def test_http_session_lifecycle(server):
+    client = TuningClient(server.base_url)
+    assert client.health()["status"] == "ok"
+    session = client.create_session("acme", **TINY)
+    assert session["tenant"] == "acme"
+    assert [s["id"] for s in client.sessions()] == [session["id"]]
+    assert client.session(session["id"])["id"] == session["id"]
+    client.delete_session(session["id"])
+    assert client.sessions() == []
+    with pytest.raises(ServerError) as err:
+        client.session(session["id"])
+    assert err.value.status == 404
+
+
+def test_http_bad_requests_map_to_400_and_404(server):
+    client = TuningClient(server.base_url)
+    with pytest.raises(ServerError) as err:
+        client._request("POST", "/v1/sessions", body={"scale": 1})
+    assert err.value.status == 400
+    with pytest.raises(ServerError) as err:
+        client.submit_experiment("s-999999", "fig3")
+    assert err.value.status == 404
+    session = client.create_session("acme", **TINY)
+    with pytest.raises(ServerError) as err:
+        client._request(
+            "POST", f"/v1/sessions/{session['id']}/workloads",
+            body={"experiment": "nope"},
+        )
+    assert err.value.status == 400
+    with pytest.raises(ServerError) as err:
+        client.job("j-999999")
+    assert err.value.status == 404
+
+
+def test_http_workload_job_runs_and_reports(server):
+    client = TuningClient(server.base_url)
+    session = client.create_session("acme", **TINY)
+    job = client.submit_workload(session["id"], "NREF2J",
+                                 configurations=["P", "1C"])
+    seen = []
+    final = client.wait(job, timeout=120.0,
+                        on_event=lambda e: seen.append(e))
+    assert final["status"] == "succeeded"
+    measured = final["result"]["measured"]
+    assert set(measured) == {"P", "1C"}
+    assert measured["P"]["queries"] == TINY["workload_size"]
+    names = [e["name"] for e in seen]
+    assert "job.started" in names and "job.finished" in names
+    assert any(n.startswith("span.") for n in names)
+    report = json.loads(client.fetch_report(job))
+    obs.validate_run_report(report)
+    assert report["run"]["scale"] == TINY["scale"]
+    metrics = client.metrics()
+    assert metrics["jobs"]["completed"] == 1
+    assert metrics["sessions"]["active"] == 1
+
+
+def test_http_report_409_until_done_and_event_cursor(server):
+    client = TuningClient(server.base_url)
+    session = client.create_session("acme", **TINY)
+    # Block the worker so the job stays queued while we probe.
+    with server.queue._recording_lock:
+        job = client.submit_workload(session["id"], "NREF2J",
+                                     configurations=["P"])
+        with pytest.raises(ServerError) as err:
+            client.fetch_report(job)
+        assert err.value.status == 409
+    final = client.wait(job, timeout=120.0)
+    # Cursor polling: nothing new after the final cursor.
+    again = client.job(job, after=final["cursor"])
+    assert again["events"] == []
+    assert again["cursor"] == final["cursor"]
+
+
+def test_http_queue_backpressure_is_429_with_retry_after(server):
+    client = TuningClient(server.base_url)
+    session = client.create_session("acme", **TINY)
+    # Hold the recording lock: submitted jobs cannot finish, so the
+    # queue (capacity 2) saturates deterministically.
+    with server.queue._recording_lock:
+        first = client.submit_workload(session["id"], "NREF2J",
+                                       configurations=["P"])
+        second = client.submit_workload(session["id"], "NREF2J",
+                                        configurations=["P"])
+        with pytest.raises(ServerError) as err:
+            client.submit_workload(session["id"], "NREF2J",
+                                   configurations=["P"])
+        assert err.value.status == 429
+        assert err.value.retry_after is not None
+    assert client.wait(first, timeout=120.0)["status"] == "succeeded"
+    assert client.wait(second, timeout=120.0)["status"] == "succeeded"
+    metrics = client.metrics()
+    assert metrics["jobs"]["rejected"] == 1
+    # The rejected submission released its session pin.
+    assert client.session(session["id"])["active_jobs"] == 0
+
+
+def test_http_session_limit_is_503(server):
+    client = TuningClient(server.base_url)
+    ids = [client.create_session(f"t{i}", **TINY)["id"]
+           for i in range(4)]
+    # Pin every resident session (as an in-flight job would) so
+    # nothing is evictable; a fifth creation must be refused.
+    for session_id in ids:
+        server.store.acquire_job(session_id)
+    try:
+        with pytest.raises(ServerError) as err:
+            client.create_session("overflow", **TINY)
+        assert err.value.status == 503
+    finally:
+        for session_id in ids:
+            server.store.release_job(session_id)
+
+
+def test_http_concurrent_tenants_get_identical_isolated_results(server):
+    client = TuningClient(server.base_url)
+    acme = client.create_session("acme", **TINY)
+    biotech = client.create_session("biotech", **TINY)
+    jobs = {
+        tenant: client.submit_workload(sid, "NREF2J",
+                                       configurations=["P", "1C"])
+        for tenant, sid in (("acme", acme["id"]),
+                            ("biotech", biotech["id"]))
+    }
+    finals = {t: client.wait(j, timeout=180.0) for t, j in jobs.items()}
+    assert all(f["status"] == "succeeded" for f in finals.values())
+    assert finals["acme"]["result"]["measured"] == \
+        finals["biotech"]["result"]["measured"]
+    assert finals["acme"]["tenant"] == "acme"
+    assert finals["biotech"]["tenant"] == "biotech"
+
+
+# ----------------------------------------------------------------------
+# Report parity with the one-shot pipeline
+
+
+def test_served_experiment_report_matches_one_shot_canonical_bytes():
+    settings = BenchSettings(scale=0.02, workload_size=4, jobs=1)
+    # One-shot: exactly the CLI's --report flow, in process.
+    context = BenchContext(settings)
+    with obs.recording() as recorder:
+        with obs.span("bench.experiment", experiment="fig3"):
+            ALL_EXPERIMENTS["fig3"](context)
+    one_shot = context.run_report(recorder=recorder,
+                                  experiments=["fig3"])
+    obs.validate_run_report(one_shot)
+    expected = (
+        json.dumps(obs.canonicalize_run_report(one_shot),
+                   indent=2, sort_keys=True) + "\n"
+    ).encode("utf-8")
+
+    with TuningServer(port=0) as server:
+        client = TuningClient(server.base_url)
+        session = client.create_session("acme", scale=0.02,
+                                        workload_size=4, jobs=1)
+        job = client.submit_experiment(session["id"], "fig3")
+        assert client.wait(job, timeout=180.0)["status"] == "succeeded"
+        served = client.fetch_report(job, canonical=True)
+        raw = client.fetch_report(job)
+
+    assert served == expected
+    # The raw (non-canonical) serialization matches write_report's
+    # layout: parse-reserialize round-trips to the same bytes.
+    document = json.loads(raw)
+    assert (
+        json.dumps(document, indent=2, sort_keys=True) + "\n"
+    ).encode("utf-8") == raw
