@@ -1,0 +1,248 @@
+#!/usr/bin/env python3
+"""Perf trajectory of cross-query optimization (``BENCH_multiquery.json``).
+
+Runs the full fig4 pipeline — System A on NREF3J: data generation,
+workload generation (constant-selection ladders), statistics, the 1C
+recommendation, index builds, and the P/1C/R measurements — once with
+the three cross-query knobs off (``REPRO_PLAN_TEMPLATES=0``,
+``REPRO_SUBPLAN_CACHE=0``, ``REPRO_MORSEL_ROWS=0``: per-query
+parse/bind, full DP join enumeration, per-query subplan recomputation)
+and once with the defaults (bind/plan template replays, shared
+subplan reuse).  Each mode gets a fresh context, so the deltas isolate
+the cross-query layer.  The script fails unless the two modes produce
+byte-identical figure text and measured cost curves.
+
+Besides wall time, each mode records ``optimizer.plans_enumerated``
+(full DP enumerations — the work the template cache exists to
+eliminate, so the off/on ratio is deterministic) and the
+``template.*`` / ``subplan.*`` / ``morsel.*`` counters.
+
+The output file matches
+:data:`repro.obs.schemas.BENCH_MULTIQUERY_SCHEMA` (prose version in
+``docs/performance.md#cross-query-optimization``) and is validated
+before it is written.  CI runs the smoke mode on every push and
+uploads the file as an artifact; the committed
+``results/BENCH_multiquery.json`` comes from a full run (see
+``EXPERIMENTS.md`` for the regeneration command).
+
+Usage::
+
+    python benchmarks/bench_perf_multiquery.py           # full (~minutes)
+    python benchmarks/bench_perf_multiquery.py --smoke   # CI-sized
+    python benchmarks/bench_perf_multiquery.py -o out.json --scale 0.1
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parents[1] / "src"))
+
+from repro import obs                                    # noqa: E402
+from repro.bench.context import (                        # noqa: E402
+    BenchContext,
+    BenchSettings,
+)
+from repro.bench.experiments import figure_cfc           # noqa: E402
+from repro.executor.morsels import MORSEL_ENV            # noqa: E402
+from repro.executor.subplan import SUBPLAN_ENV           # noqa: E402
+from repro.optimizer.templates import TEMPLATES_ENV      # noqa: E402
+
+FIGURE = "fig4"
+SYSTEM, FAMILY = "A", "NREF3J"
+
+KNOB_ENVS = (TEMPLATES_ENV, SUBPLAN_ENV, MORSEL_ENV)
+
+# Full-mode knobs reproduce the scale the profiling in docs/performance.md
+# was captured at; smoke mode shrinks data and workload until both modes
+# fit in CI seconds while still exercising every replay code path.
+FULL = {"scale": 0.15, "workload_size": 100, "seed": 405, "jobs": 1}
+SMOKE = {"scale": 0.05, "workload_size": 10, "seed": 405, "jobs": 1}
+
+_COUNTER_KEYS = {
+    "plans_enumerated": "optimizer.plans_enumerated",
+    "plan_builds": "template.plan_builds",
+    "plan_replays": "template.plan_replays",
+    "bind_builds": "template.bind_builds",
+    "bind_replays": "template.bind_replays",
+    "fallbacks": "template.fallbacks",
+    "morsel_batches": "morsel.batches",
+}
+
+_SUBPLAN_HIT_KEYS = (
+    "subplan.semi_hits", "subplan.mask_hits", "subplan.domain_hits",
+)
+_SUBPLAN_BUILD_KEYS = (
+    "subplan.semi_builds", "subplan.mask_builds", "subplan.domain_builds",
+)
+
+
+def run_mode(settings, optimized):
+    """One timed fig4 pipeline run; returns the mode's metrics block.
+
+    A fresh :class:`BenchContext` per call keeps artifacts and live
+    databases from leaking between modes: the timer covers the whole
+    pipeline (data, workload, stats, recommendation, measurements), the
+    stages the cross-query caches span.  The optimized mode runs under
+    the library defaults (templates and subplan cache on, morsels off
+    — the container is single-core); the baseline pins all three off.
+    """
+    saved = {name: os.environ.pop(name, None) for name in KNOB_ENVS}
+    if not optimized:
+        for name in KNOB_ENVS:
+            os.environ[name] = "0"
+    try:
+        context = BenchContext(settings)
+        with obs.recording() as recorder:
+            start = time.perf_counter()
+            result = figure_cfc(FIGURE, context)
+            wall = time.perf_counter() - start
+    finally:
+        for name, value in saved.items():
+            os.environ.pop(name, None)
+            if value is not None:
+                os.environ[name] = value
+    counters = recorder.metrics.snapshot().get("counters", {})
+    mode = {"wall_seconds": round(wall, 4)}
+    for field, counter in _COUNTER_KEYS.items():
+        mode[field] = int(counters.get(counter, 0))
+    mode["subplan_hits"] = sum(
+        int(counters.get(key, 0)) for key in _SUBPLAN_HIT_KEYS
+    )
+    mode["subplan_builds"] = sum(
+        int(counters.get(key, 0)) for key in _SUBPLAN_BUILD_KEYS
+    )
+    mode["figure_fingerprint"] = hashlib.sha256(
+        str(result).encode("utf-8")
+    ).hexdigest()
+    mode["costs_fingerprint"] = hashlib.sha256(
+        json.dumps(result.data, sort_keys=True, default=repr)
+        .encode("utf-8")
+    ).hexdigest()
+    return mode
+
+
+def run_target(settings):
+    """Baseline + optimized runs of the fig4 target, with ratios."""
+    label = f"{SYSTEM}/{FAMILY}"
+    print(f"[{label}] baseline run (all knobs off) ...", flush=True)
+    baseline = run_mode(settings, optimized=False)
+    print(
+        f"[{label}] baseline:  {baseline['wall_seconds']:.2f}s, "
+        f"{baseline['plans_enumerated']} plans enumerated", flush=True,
+    )
+    print(f"[{label}] optimized run (defaults) ...", flush=True)
+    optimized = run_mode(settings, optimized=True)
+    print(
+        f"[{label}] optimized: {optimized['wall_seconds']:.2f}s, "
+        f"{optimized['plans_enumerated']} plans enumerated, "
+        f"{optimized['plan_replays']} replays, "
+        f"{optimized['subplan_hits']} subplan hits", flush=True,
+    )
+    identical = (
+        optimized["figure_fingerprint"] == baseline["figure_fingerprint"]
+        and optimized["costs_fingerprint"] == baseline["costs_fingerprint"]
+    )
+    return {
+        "target": label,
+        "system": SYSTEM,
+        "family": FAMILY,
+        "identical": identical,
+        "speedup": round(
+            baseline["wall_seconds"]
+            / max(optimized["wall_seconds"], 1e-9), 3
+        ),
+        "plans_ratio": round(
+            baseline["plans_enumerated"]
+            / max(optimized["plans_enumerated"], 1), 3
+        ),
+        "optimized": optimized,
+        "baseline": baseline,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/bench_perf_multiquery.py",
+        description="Benchmark cross-query optimization "
+                    "(fig4 pipeline, knobs on vs off).",
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (tiny scale and workload)")
+    parser.add_argument("-o", "--output", default=None, metavar="FILE",
+                        help="output path "
+                             "(default results/BENCH_multiquery.json)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="override the mode's data scale factor")
+    parser.add_argument("--workload-size", type=int, default=None,
+                        help="override the mode's sampled workload size")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the sampling seed")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="override the worker-pool width (both modes)")
+    args = parser.parse_args(argv)
+
+    knobs = dict(SMOKE if args.smoke else FULL)
+    for name in ("scale", "workload_size", "seed", "jobs"):
+        value = getattr(args, name)
+        if value is not None:
+            knobs[name] = value
+    settings = BenchSettings(
+        scale=knobs["scale"],
+        workload_size=knobs["workload_size"],
+        seed=knobs["seed"],
+        jobs=knobs["jobs"],
+    )
+
+    mode = "smoke" if args.smoke else "full"
+    run_id = (
+        f"multiquery-{mode}-s{knobs['scale']}-w{knobs['workload_size']}"
+        f"-seed{knobs['seed']}-j{knobs['jobs']}"
+    )
+    print(f"run {run_id}", flush=True)
+    document = {
+        "schema": "repro.bench_multiquery/v1",
+        "run": {
+            "id": run_id,
+            "smoke": bool(args.smoke),
+            "scale": knobs["scale"],
+            "workload_size": knobs["workload_size"],
+            "seed": knobs["seed"],
+            "jobs": knobs["jobs"],
+        },
+        "targets": [run_target(settings)],
+    }
+    obs.validate_bench_multiquery(document)
+
+    output = pathlib.Path(
+        args.output
+        or pathlib.Path(__file__).parents[1] / "results"
+        / "BENCH_multiquery.json"
+    )
+    output.parent.mkdir(parents=True, exist_ok=True)
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {output}")
+
+    failed = False
+    for target in document["targets"]:
+        status = "identical" if target["identical"] else "MISMATCH"
+        print(
+            f"{target['target']}: speedup x{target['speedup']}, "
+            f"plans enumerated x{target['plans_ratio']} fewer, {status}"
+        )
+        failed = failed or not target["identical"]
+    if failed:
+        print("FAILED: optimized and baseline fig4 outputs differ",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -148,8 +148,15 @@ def main(argv=None):
                         help="override the worker-pool width (both modes)")
     parser.add_argument("--profile", action="store_true",
                         help="cProfile the benchmark runs and print the "
-                             "top 25 functions by cumulative time")
+                             "top 25 functions by cumulative AND by "
+                             "per-call (tottime) time")
+    parser.add_argument("--profile-output", default=None, metavar="FILE",
+                        help="also dump the raw profile stats to FILE "
+                             "(pstats format, for snakeviz/pstats; "
+                             "implies --profile)")
     args = parser.parse_args(argv)
+    if args.profile_output:
+        args.profile = True
 
     knobs = dict(SMOKE if args.smoke else FULL)
     for name in ("scale", "workload_size", "seed", "jobs"):
@@ -190,7 +197,14 @@ def main(argv=None):
     if profiler is not None:
         profiler.disable()
         stats = pstats.Stats(profiler, stream=sys.stdout)
+        # Cumulative answers "which phase is slow"; tottime answers
+        # "which function body burns the CPU" — the hot-path evidence
+        # the cross-query optimizations were gated on.
         stats.sort_stats("cumulative").print_stats(25)
+        stats.sort_stats("tottime").print_stats(25)
+        if args.profile_output:
+            stats.dump_stats(args.profile_output)
+            print(f"wrote profile stats to {args.profile_output}")
     obs.validate_bench_whatif(document)
 
     output = pathlib.Path(

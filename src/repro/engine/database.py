@@ -51,14 +51,23 @@ from ..runtime.cache import BoundedCache, CacheStats
 
 from ..common.errors import CatalogError, QueryTimeout
 from ..executor.engine import Executor
+from ..executor.morsels import MorselPool
+from ..executor.subplan import SubplanCache, subplan_cache_enabled
 from ..index.data import IndexData
 from ..index.definition import estimate_index_size
 from ..optimizer import cost_model as cm
 from ..optimizer.environment import IndexInfo, PlannerEnv, ViewInfo
 from ..optimizer.estimator import Estimator
 from ..optimizer.planner import Planner
+from ..optimizer.templates import (
+    PlanTemplate,
+    TemplatePlanner,
+    template_key,
+    templates_enabled,
+)
 from ..sql.binder import Binder, BoundQuery
 from ..sql.parser import parse
+from ..sql.templates import BindTemplates
 from ..stats.table_stats import StatisticsCatalog, TableStats
 from ..storage.encoding import (
     ColumnDictionary,
@@ -131,6 +140,7 @@ class Database:
     PLAN_CACHE_SIZE = 8192
     ENV_CACHE_SIZE = 128
     WHATIF_CACHE_SIZE = 65536
+    TEMPLATE_CACHE_SIZE = 4096
 
     def __init__(self, catalog, system, name="db"):
         self.catalog = catalog
@@ -152,6 +162,17 @@ class Database:
         )
         self._dict_cache = DictionaryCache()
         self._bind_stats = CacheStats("bind_cache")
+        # Cross-query optimization state (REPRO_PLAN_TEMPLATES /
+        # REPRO_SUBPLAN_CACHE / REPRO_MORSEL_ROWS): plan templates keyed
+        # by (environment token, structural template key), bind templates
+        # keyed by SQL skeleton, shared subplan results handed to every
+        # executor, and the lazily-started morsel thread pool.
+        self._template_cache = BoundedCache(
+            "template_cache", self.TEMPLATE_CACHE_SIZE
+        )
+        self._bind_templates = BindTemplates(self.catalog)
+        self._subplan_cache = SubplanCache()
+        self._morsels = MorselPool.from_env()
         self._current_fingerprint = None
         # Horizontal partitioning (REPRO_SHARDS; 0 = off).  The shard
         # runtime owns the worker pool and shared-memory segments; the
@@ -170,6 +191,8 @@ class Database:
         state = self.__dict__.copy()
         for transient in ("_plan_cache", "_env_cache", "_whatif_cache",
                           "_dict_cache", "_bind_stats",
+                          "_template_cache", "_bind_templates",
+                          "_subplan_cache", "_morsels",
                           "_current_fingerprint", "_bound_cache",
                           "_shards", "_shard_runtime"):
             state.pop(transient, None)
@@ -195,6 +218,8 @@ class Database:
         self._env_cache.invalidate()
         self._whatif_cache.invalidate()
         self._dict_cache.invalidate()
+        self._template_cache.invalidate()
+        self._subplan_cache.invalidate()
         if self._shard_runtime is not None:
             self._shard_runtime.invalidate()
         self._current_fingerprint = None
@@ -217,6 +242,8 @@ class Database:
             "whatif_cache": self._whatif_cache.stats.snapshot(),
             "dict_cache": self._dict_cache.stats.snapshot(),
             "bind_cache": self._bind_stats.snapshot(),
+            "template_cache": self._template_cache.stats.snapshot(),
+            "subplan_cache": self._subplan_cache.stats.snapshot(),
         }
 
     def _dict_encodings(self):
@@ -251,6 +278,7 @@ class Database:
         else:
             self.tables[name] = Table(schema, columns)
         self._bound_cache.clear()
+        self._bind_templates.clear()
         self._view_size_cache.clear()
         self.invalidate_caches()
 
@@ -464,7 +492,16 @@ class Database:
             return sql
         if sql not in self._bound_cache:
             self._bind_stats.misses += 1
-            self._bound_cache[sql] = Binder(self.catalog).bind(parse(sql))
+            bound = None
+            if templates_enabled():
+                # Skeleton templates: parse+bind one representative per
+                # SQL shape, rebind later members' constants into a
+                # clone.  None means the skeleton is not template-safe;
+                # the ordinary path then surfaces its own errors.
+                bound = self._bind_templates.bind(sql)
+            if bound is None:
+                bound = Binder(self.catalog).bind(parse(sql))
+            self._bound_cache[sql] = bound
         else:
             self._bind_stats.hits += 1
         return self._bound_cache[sql]
@@ -770,9 +807,35 @@ class Database:
 
         def build():
             obs.counter_add("optimizer.plan_builds")
-            return Planner(self.planner_env()).plan(bound)
+            return self._plan_query(bound, self.planner_env())
 
         return self._plan_cache.get_or_build(key, build)
+
+    def _plan_query(self, bound, env):
+        """Plan ``bound`` under ``env``, through the template cache.
+
+        With ``REPRO_PLAN_TEMPLATES`` on and the query inside the
+        template-safe subset, the structural key resolves to a shared
+        :class:`PlanTemplate`: its first member runs the full
+        enumeration and records the DP join program, later members
+        replay it — producing a bit-identical plan while skipping the
+        structure discovery.  The recipe is purely structural (replay
+        recomputes every selectivity, semijoin source and cost against
+        ``env``), so one template serves the real environment and every
+        what-if candidate a recommender probes; the cache is dropped
+        with the other derived caches on each state transition.
+        """
+        if templates_enabled():
+            key = template_key(bound, env)
+            if key is not None:
+                template = self._template_cache.get_or_build(
+                    key, PlanTemplate
+                )
+                return TemplatePlanner(env).plan_with_template(
+                    bound, template
+                )
+            obs.counter_add("template.fallbacks")
+        return Planner(env).plan(bound)
 
     def estimate(self, sql):
         """Estimated cost ``E(q, C)`` in the current configuration."""
@@ -804,7 +867,7 @@ class Database:
             env = self.hypothetical_env(
                 config, force_hypothetical, oracle, base=base
             )
-            return Planner(env).plan(bound).est.cost
+            return self._plan_query(bound, env).est.cost
 
         return self._plan_cache.get_or_build(key, build)
 
@@ -822,6 +885,9 @@ class Database:
                 self._exec_tables(), self.system.hardware, timeout,
                 encodings=self._dict_encodings(),
                 sharding=self._shard_runtime,
+                subplans=(self._subplan_cache
+                          if subplan_cache_enabled() else None),
+                morsels=self._morsels,
             )
             try:
                 outcome = executor.run(plan)

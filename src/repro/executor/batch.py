@@ -27,13 +27,20 @@ class Batch:
     (optional) maps a subset of batch keys to dictionary handles for
     sort-free factorization; an entry is only valid while the column's
     values remain drawn from the encoded base column, which every
-    subsetting operation (mask/take) preserves.
+    subsetting operation (mask/take) preserves.  ``codes`` (optional)
+    carries the dictionary codes of a further subset of the encoded
+    keys *through* the operators: scans attach the base column's cached
+    codes and mask/take subset them in lockstep with the values, so a
+    downstream join or aggregation factorizes without re-encoding
+    (``codes[key][i]`` is always the dictionary code of
+    ``columns[key][i]``).
     """
 
     columns: dict
     widths: dict = field(default_factory=dict)
     weights: np.ndarray = None
     encodings: dict = field(default_factory=dict)
+    codes: dict = field(default_factory=dict)
 
     @property
     def rows(self):
@@ -52,6 +59,7 @@ class Batch:
             widths=dict(self.widths),
             weights=None if self.weights is None else self.weights[keep],
             encodings=dict(self.encodings),
+            codes={k: v[keep] for k, v in self.codes.items()},
         )
 
     def take(self, positions):
@@ -61,6 +69,7 @@ class Batch:
             widths=dict(self.widths),
             weights=None if self.weights is None else self.weights[positions],
             encodings=dict(self.encodings),
+            codes={k: v[positions] for k, v in self.codes.items()},
         )
 
     def weight_array(self):
@@ -120,20 +129,27 @@ def _densify_ints(codes):
     return dense.astype(np.int64)
 
 
-def factorize(values, encoding=None):
+def factorize(values, encoding=None, carried=None):
     """Dense integer codes for an array (group/join key encoding).
 
     With an ``encoding`` whose dictionary covers ``values`` (the base
     column itself or any subset of it), codes come from the cached
     dictionary: the base column's pre-computed dense codes directly, a
     subset via ``searchsorted`` into the sorted dictionary plus a
-    presence-scan densification.  Without one, ``np.unique`` as before.
-    Both paths produce the identical array.
+    presence-scan densification.  ``carried`` — the subset's dictionary
+    codes carried through the operators on ``Batch.codes`` — skips even
+    the ``searchsorted``: carried codes equal
+    ``dictionary.encode(values)`` elementwise by construction (the base
+    codes were gathered in lockstep with the values), so only the
+    densification remains.  Without an encoding, ``np.unique`` as
+    before.  All paths produce the identical array.
     """
     dictionary = _resolve_encoding(encoding)
     if dictionary is not None:
         if values is dictionary.base:
             return dictionary.encode(values)  # the cached dense codes
+        if carried is not None:
+            return _densify_dict_codes(carried, dictionary.n_distinct)
         return _densify_dict_codes(
             dictionary.encode(values), dictionary.n_distinct
         )
@@ -160,7 +176,19 @@ def combine_codes(code_arrays):
     return _densify_ints(combined)
 
 
-def _join_pair_codes(left, right, left_encoding, right_encoding):
+def _merged_domain(left_dict, right_dict):
+    """``(size, left map, right map)`` of two dictionaries' union."""
+    merged = np.union1d(left_dict.values, right_dict.values)
+    return (
+        len(merged),
+        np.searchsorted(merged, left_dict.values),
+        np.searchsorted(merged, right_dict.values),
+    )
+
+
+def _join_pair_codes(left, right, left_encoding, right_encoding,
+                     left_carried=None, right_carried=None,
+                     domains=None):
     """Sort-free joint codes for one join-key column pair, or ``None``.
 
     Both sides must carry an encoding.  Their dictionaries (one shared
@@ -168,23 +196,37 @@ def _join_pair_codes(left, right, left_encoding, right_encoding):
     sorted value sets) define a merged sorted domain; each side maps in
     through its own cached codes, and one presence scan over the merged
     domain assigns the same dense ranks the legacy concatenate-and-sort
-    path would.
+    path would.  A side whose dictionary codes were carried through the
+    operators (``Batch.codes``) maps in without re-encoding — the
+    carried array equals ``encode()``'s output elementwise.  ``domains``
+    (a :class:`~repro.executor.subplan.SubplanCache`) memoizes the
+    merged domain across queries joining the same dictionary pair.
     """
     left_dict = _resolve_encoding(left_encoding)
     right_dict = _resolve_encoding(right_encoding)
     if left_dict is None or right_dict is None:
         return None
+    if left_carried is None:
+        left_carried = left_dict.encode(left)
+    if right_carried is None:
+        right_carried = right_dict.encode(right)
     if left_dict is right_dict:
         domain = left_dict.n_distinct
-        left_codes = left_dict.encode(left)
-        right_codes = right_dict.encode(right)
+        left_codes = left_carried
+        right_codes = right_carried
     else:
-        merged = np.union1d(left_dict.values, right_dict.values)
-        domain = len(merged)
-        left_map = np.searchsorted(merged, left_dict.values)
-        right_map = np.searchsorted(merged, right_dict.values)
-        left_codes = left_map[left_dict.encode(left)]
-        right_codes = right_map[right_dict.encode(right)]
+        if domains is not None:
+            domain, left_map, right_map = domains.join_domain(
+                (id(left_dict), id(right_dict)),
+                (left_dict.values, right_dict.values),
+                lambda: _merged_domain(left_dict, right_dict),
+            )
+        else:
+            domain, left_map, right_map = _merged_domain(
+                left_dict, right_dict
+            )
+        left_codes = left_map[left_carried]
+        right_codes = right_map[right_carried]
     present = np.zeros(domain, dtype=bool)
     present[left_codes] = True
     present[right_codes] = True
@@ -196,13 +238,17 @@ def _join_pair_codes(left, right, left_encoding, right_encoding):
 
 
 def join_codes(left_arrays, right_arrays,
-               left_encodings=None, right_encodings=None):
+               left_encodings=None, right_encodings=None,
+               left_carried=None, right_carried=None,
+               domains=None):
     """Comparable integer codes for join keys across two batches.
 
     Columns are factorized jointly so equal values on either side get the
     same code.  Key columns encoded on *both* sides take the sort-free
-    merged-dictionary path; any other column is concatenated and
-    factorized as before.  The codes are identical either way.
+    merged-dictionary path (skipping even the per-side re-encode when
+    carried dictionary codes are supplied); any other column is
+    concatenated and factorized as before.  The codes are identical
+    either way.
     """
     left_codes, right_codes = [], []
     for position, (larr, rarr) in enumerate(zip(left_arrays, right_arrays)):
@@ -210,6 +256,9 @@ def join_codes(left_arrays, right_arrays,
             larr, rarr,
             left_encodings[position] if left_encodings else None,
             right_encodings[position] if right_encodings else None,
+            left_carried[position] if left_carried else None,
+            right_carried[position] if right_carried else None,
+            domains=domains,
         )
         if pair is None:
             both = np.concatenate([larr, rarr])

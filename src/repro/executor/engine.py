@@ -74,7 +74,7 @@ class Executor:
     """Executes plans over built tables, indexes, and views."""
 
     def __init__(self, tables, hardware, timeout=None, encodings=None,
-                 sharding=None):
+                 sharding=None, subplans=None, morsels=None):
         self._tables = tables
         self._hw = hardware
         self._timeout = timeout
@@ -85,6 +85,18 @@ class Executor:
         # Optional ShardRuntime: scans of sharded tables evaluate
         # filters/semijoins per shard (process pool when configured).
         self._sharding = sharding
+        # Optional SubplanCache: semijoin value/count pairs and base
+        # filter masks are reused across queries, and scans carry
+        # dictionary codes through the operators (sort- and
+        # search-free join/group factorization).  None = legacy.
+        self._subplans = subplans
+        # Optional MorselPool: filter/membership/probe kernels split
+        # into fixed-size row ranges on a thread pool.  None = inline.
+        self._morsels = morsels
+        # Carrying codes needs both the dictionaries and the subplan
+        # layer (the knob that gates cross-operator reuse).
+        self._carry = encodings is not None and subplans is not None
+        self._code_keys = frozenset()
 
     def run(self, plan):
         """Execute a plan; returns an :class:`ExecutionResult`.
@@ -92,6 +104,8 @@ class Executor:
         Raises :class:`QueryTimeout` when the virtual clock exceeds the
         timeout (the charge so far is available on the exception).
         """
+        if self._carry:
+            self._code_keys = _code_keys_of(plan)
         clock = VirtualClock(self._timeout)
         batch = self._exec(plan, clock)
         return ExecutionResult(batch=batch, elapsed=clock.elapsed, plan=plan)
@@ -124,6 +138,10 @@ class Executor:
                     k: child.encodings[k]
                     for k in node.keys if k in child.encodings
                 },
+                codes={
+                    k: child.codes[k]
+                    for k in node.keys if k in child.codes
+                },
             )
         raise ExecutionError(f"no executor for node {type(node).__name__}")
 
@@ -146,6 +164,7 @@ class Executor:
             },
             widths=widths,
             encodings=self._column_handles(alias, table, columns),
+            codes=self._carried_codes(alias, table, columns),
         )
 
     def _column_handles(self, alias, table, columns):
@@ -157,31 +176,79 @@ class Executor:
             for c in columns
         }
 
+    def _carried_codes(self, alias, table, columns, row_ids=None):
+        """Dictionary codes to carry alongside the scanned columns.
+
+        Only columns the plan later uses as a join, group, or distinct
+        key (collected by :func:`_code_keys_of` before execution) get a
+        codes array — the base column's cached dense codes, gathered at
+        ``row_ids`` for probe-style scans — so scans never pay for
+        codes no downstream operator consumes.
+        """
+        if not self._carry:
+            return {}
+        codes = {}
+        for column in columns:
+            key = f"{alias}.{column}"
+            if key not in self._code_keys:
+                continue
+            base_codes = self._encodings.dictionary(table, column).codes
+            codes[key] = base_codes if row_ids is None \
+                else base_codes[row_ids]
+            obs.counter_add("subplan.codes_carried")
+        return codes
+
     def _apply_filters(self, batch, filters, clock, table=None, alias=None):
         if not filters:
             return batch
         clock.charge(cm.filter_rows(self._hw, batch.rows, len(filters)))
-        specs = self._shard_specs(batch, filters, table, alias)
-        if specs is not None:
+        specs = self._identity_specs(batch, filters, table, alias)
+        if specs is not None and self._sharding is not None \
+                and isinstance(table, ShardedTable) and table.shards > 1:
             return batch.mask(self._sharding.filter_mask(table, specs))
-        keep = np.ones(batch.rows, dtype=bool)
-        for flt in filters:
-            values = batch.columns[flt.key]
-            keep &= _compare(values, flt.op, flt.value)
+        if specs is not None and self._subplans is not None:
+            keep = self._subplans.filter_mask(
+                (table.name, tuple(specs)),
+                tuple(batch.columns[flt.key] for flt in filters),
+                lambda: self._filter_keep(batch, filters),
+            )
+        else:
+            keep = self._filter_keep(batch, filters)
         return batch.mask(keep)
 
-    def _shard_specs(self, batch, filters, table, alias):
-        """``(column, op, value)`` specs when the shard path applies.
+    def _filter_keep(self, batch, filters):
+        """The conjunctive keep-mask of ``filters`` over ``batch``.
 
-        The per-shard mask is only equivalent to the elementwise mask
-        when the batch columns *are* the table's full storage arrays —
-        an unfiltered base batch.  Identity is checked per filter key;
-        any already-masked batch, view column, or computed column
-        routes back to the elementwise path.
+        With a morsel pool and a batch over the morsel size, each
+        fixed-size row range evaluates on the pool and the per-morsel
+        masks concatenate in morsel order — byte-identical to the
+        single-shot evaluation.
         """
-        if self._sharding is None or not filters:
-            return None
-        if not (isinstance(table, ShardedTable) and table.shards > 1):
+        rows = batch.rows
+        arrays = [batch.columns[flt.key] for flt in filters]
+        if self._morsels is not None and rows > self._morsels.rows:
+            def kernel(lo, hi):
+                keep = np.ones(hi - lo, dtype=bool)
+                for values, flt in zip(arrays, filters):
+                    keep &= _compare(values[lo:hi], flt.op, flt.value)
+                return keep
+
+            return self._morsels.map_concat(kernel, rows)
+        keep = np.ones(rows, dtype=bool)
+        for values, flt in zip(arrays, filters):
+            keep &= _compare(values, flt.op, flt.value)
+        return keep
+
+    def _identity_specs(self, batch, filters, table, alias):
+        """``(column, op, value)`` specs for an unfiltered base batch.
+
+        Both the per-shard mask and the cross-query mask cache are only
+        equivalent to the elementwise mask when the batch columns *are*
+        the table's full storage arrays.  Identity is checked per
+        filter key; any already-masked batch, view column, or computed
+        column routes back to the elementwise path.
+        """
+        if table is None or not filters:
             return None
         prefix = f"{alias}."
         specs = []
@@ -213,17 +280,37 @@ class Executor:
                 # later semis take the elementwise path.
                 keep = self._sharding.isin_mask(table, name, allowed)
             else:
-                keep = np.isin(batch.columns[semi.key], allowed)
+                keep = self._isin(batch.columns[semi.key], allowed)
             batch = batch.mask(keep)
         return batch
 
+    def _isin(self, values, allowed):
+        """``np.isin``, morselized over row ranges when a pool is set."""
+        if self._morsels is not None and len(values) > self._morsels.rows:
+            return self._morsels.map_concat(
+                lambda lo, hi: np.isin(values[lo:hi], allowed),
+                len(values),
+            )
+        return np.isin(values, allowed)
+
     def _semi_allowed(self, source, clock):
+        """Values passing a semijoin's HAVING filter.
+
+        The virtual-clock charge always models the full evaluation; the
+        value/count aggregation itself is served from the cross-query
+        :class:`~repro.executor.subplan.SubplanCache` when one is
+        attached and the backing arrays are unchanged — every member of
+        a semijoin family shares the aggregation and applies only its
+        own HAVING comparison.
+        """
         semi = source.semi
         if source.via == "view":
             view = source.view
             clock.charge(
                 cm.seq_scan(self._hw, view.page_count, view.rows)
             )
+            # Plain column reads off the materialized view — nothing
+            # worth caching beyond what the view already is.
             table = view.data
             values = table.column(source.view.definition.group_columns[0].name)
             counts = table.column(COUNT_COLUMN)
@@ -235,27 +322,41 @@ class Executor:
                 + info.entries * self._hw.cpu_row_s * 2
             )
             keys = info.data.leading_keys
-            values, counts = np.unique(keys, return_counts=True)
+            values, counts = self._semi_values(
+                ("index_only", info.definition.name, semi.sub_table,
+                 semi.sub_column),
+                (keys,),
+                lambda: np.unique(keys, return_counts=True),
+            )
         else:
             table = self._table(semi.sub_table)
-            if self._encodings is not None:
-                # Shard-aware already: a DictionaryCache attached to a
-                # ShardRuntime assembles sharded tables' dictionaries
-                # from per-shard sketches.
-                dictionary = self._encodings.dictionary(
-                    table, semi.sub_column
-                )
-                values, counts = dictionary.values, dictionary.counts
-            elif (self._sharding is not None
-                    and isinstance(table, ShardedTable)
-                    and table.shards > 1):
-                sketch = ValueCountSketch.merge(
-                    self._sharding.column_sketches(table, semi.sub_column)
-                )
-                values, counts = sketch.values, sketch.counts
-            else:
+
+            def aggregate():
+                if self._encodings is not None:
+                    # Shard-aware already: a DictionaryCache attached
+                    # to a ShardRuntime assembles sharded tables'
+                    # dictionaries from per-shard sketches.
+                    dictionary = self._encodings.dictionary(
+                        table, semi.sub_column
+                    )
+                    return dictionary.values, dictionary.counts
+                if (self._sharding is not None
+                        and isinstance(table, ShardedTable)
+                        and table.shards > 1):
+                    sketch = ValueCountSketch.merge(
+                        self._sharding.column_sketches(
+                            table, semi.sub_column
+                        )
+                    )
+                    return sketch.values, sketch.counts
                 column = table.column(semi.sub_column)
-                values, counts = np.unique(column, return_counts=True)
+                return np.unique(column, return_counts=True)
+
+            values, counts = self._semi_values(
+                ("scan", semi.sub_table, semi.sub_column),
+                (table.column(semi.sub_column),),
+                aggregate,
+            )
             clock.charge(
                 cm.seq_scan(self._hw, table.page_count(), table.row_count)
                 + cm.hash_aggregate(
@@ -267,6 +368,12 @@ class Executor:
             )
         keep = _compare(counts, semi.having_op, semi.having_value)
         return values[keep]
+
+    def _semi_values(self, key, backing, build):
+        """A semijoin source's ``(values, counts)``, cached when possible."""
+        if self._subplans is None:
+            return build()
+        return self._subplans.semi_values(key, backing, build)
 
     def _seq_scan(self, node, clock):
         table = self._table(node.table)
@@ -333,6 +440,9 @@ class Executor:
                 encodings=self._column_handles(
                     node.alias, table, node.columns
                 ),
+                codes=self._carried_codes(
+                    node.alias, table, node.columns, row_ids
+                ),
             )
         else:
             # Covering full index-only scan.
@@ -389,6 +499,9 @@ class Executor:
             },
             widths=widths,
             encodings=self._column_handles(node.alias, table, node.columns),
+            codes=self._carried_codes(
+                node.alias, table, node.columns, row_ids
+            ),
         )
         batch = self._apply_filters(batch, node.residual_filters, clock)
         batch = self._apply_semis(batch, node.semi_filters, clock)
@@ -405,7 +518,7 @@ class Executor:
         obs.counter_add("engine.rows_scanned", view.rows)
         obs.counter_add("engine.pages_read", view.page_count)
         schema = table.schema
-        columns, widths, encodings = {}, {}, {}
+        columns, widths, encodings, codes = {}, {}, {}, {}
         for batch_key, view_col in node.column_map.items():
             columns[batch_key] = table.column(view_col)
             widths[batch_key] = schema.column(view_col).width
@@ -413,10 +526,15 @@ class Executor:
                 encodings[batch_key] = self._encodings.handle(
                     table, view_col
                 )
+            if self._carry and batch_key in self._code_keys:
+                codes[batch_key] = self._encodings.dictionary(
+                    table, view_col
+                ).codes
+                obs.counter_add("subplan.codes_carried")
         weights = table.column(COUNT_COLUMN).astype(np.float64)
         batch = Batch(
             columns=columns, widths=widths, weights=weights,
-            encodings=encodings,
+            encodings=encodings, codes=codes,
         )
         if node.filters:
             clock.charge(
@@ -448,11 +566,34 @@ class Executor:
             right_encodings=[
                 right.encodings.get(k) for k in node.right_keys
             ],
+            left_carried=[
+                left.codes.get(k) for k in node.left_keys
+            ],
+            right_carried=[
+                right.codes.get(k) for k in node.right_keys
+            ],
+            domains=self._subplans,
         )
         order = np.argsort(rcodes, kind="stable")
-        sorted_codes = rcodes[order]
-        lows = np.searchsorted(sorted_codes, lcodes, side="left")
-        highs = np.searchsorted(sorted_codes, lcodes, side="right")
+        if self._subplans is not None and len(lcodes) and len(rcodes):
+            # Dense-domain probe: join codes are dense ranks, so the
+            # match range of left code c in the sorted build side is
+            # [prefix_count(< c), prefix_count(<= c)) — two gathers
+            # into one shared prefix table instead of two binary
+            # searches per probe row.  Identical to the searchsorted
+            # pair below; the prefix table is bounded by the total row
+            # count because the codes are dense.
+            domain = int(max(int(lcodes.max()), int(rcodes.max()))) + 1
+            starts_table = np.zeros(domain + 1, dtype=np.int64)
+            np.cumsum(
+                np.bincount(rcodes, minlength=domain), out=starts_table[1:]
+            )
+            lows = self._gather(starts_table, lcodes)
+            highs = self._gather(starts_table, lcodes + 1)
+        else:
+            sorted_codes = rcodes[order]
+            lows = self._searchsorted(sorted_codes, lcodes, "left")
+            highs = self._searchsorted(sorted_codes, lcodes, "right")
         counts = highs - lows
         out_rows = int(counts.sum())
 
@@ -472,19 +613,43 @@ class Executor:
 
         lbatch = left.take(left_pos)
         rbatch = right.take(right_pos)
+        return self._merge_join_batches(left, right, lbatch, rbatch)
+
+    def _merge_join_batches(self, left, right, lbatch, rbatch):
         columns = dict(lbatch.columns)
         columns.update(rbatch.columns)
         widths = dict(lbatch.widths)
         widths.update(rbatch.widths)
         encodings = dict(lbatch.encodings)
         encodings.update(rbatch.encodings)
+        codes = dict(lbatch.codes)
+        codes.update(rbatch.codes)
         weights = None
         if left.weights is not None or right.weights is not None:
             weights = lbatch.weight_array() * rbatch.weight_array()
         return Batch(
             columns=columns, widths=widths, weights=weights,
-            encodings=encodings,
+            encodings=encodings, codes=codes,
         )
+
+    def _gather(self, source, indices):
+        """``source[indices]``, morselized over probe ranges."""
+        if self._morsels is not None and len(indices) > self._morsels.rows:
+            return self._morsels.map_concat(
+                lambda lo, hi: source[indices[lo:hi]], len(indices)
+            )
+        return source[indices]
+
+    def _searchsorted(self, haystack, needles, side):
+        """``np.searchsorted``, morselized over probe ranges."""
+        if self._morsels is not None and len(needles) > self._morsels.rows:
+            return self._morsels.map_concat(
+                lambda lo, hi: np.searchsorted(
+                    haystack, needles[lo:hi], side=side
+                ),
+                len(needles),
+            )
+        return np.searchsorted(haystack, needles, side=side)
 
     def _inl_join(self, node, clock):
         outer = self._exec(node.outer, clock)
@@ -530,12 +695,16 @@ class Executor:
         encodings.update(
             self._column_handles(node.alias, table, node.columns)
         )
+        codes = dict(obatch.codes)
+        codes.update(
+            self._carried_codes(node.alias, table, node.columns, row_ids)
+        )
         for col in node.columns:
             columns[f"{node.alias}.{col}"] = inner_cols[col]
             widths[f"{node.alias}.{col}"] = table.schema.column(col).width
         batch = Batch(
             columns=columns, widths=widths, weights=obatch.weights,
-            encodings=encodings,
+            encodings=encodings, codes=codes,
         )
 
         extra = getattr(node, "extra_preds", [])
@@ -562,7 +731,10 @@ class Executor:
         if node.group_keys:
             codes = combine_codes(
                 [
-                    factorize(child.columns[k], child.encodings.get(k))
+                    factorize(
+                        child.columns[k], child.encodings.get(k),
+                        child.codes.get(k),
+                    )
                     for k in node.group_keys
                 ]
             )
@@ -578,7 +750,15 @@ class Executor:
         )
 
         columns, widths = {}, {}
-        if rows:
+        if rows and self._subplans is not None:
+            # Sort-free first-occurrence scatter: group codes are dense
+            # (every value in [0, n_groups) occurs), so writing row
+            # indices in descending order leaves each slot holding its
+            # group's smallest index — exactly the stable-argsort
+            # firsts below.
+            firsts = np.empty(n_groups, dtype=np.int64)
+            firsts[codes[::-1]] = np.arange(rows - 1, -1, -1, dtype=np.int64)
+        elif rows:
             order = np.argsort(codes, kind="stable")
             sorted_codes = codes[order]
             firsts = order[
@@ -602,6 +782,7 @@ class Executor:
                 columns[label] = self._count_distinct(
                     codes, child.columns[str(agg.arg)], n_groups,
                     child.encodings.get(str(agg.arg)),
+                    child.codes.get(str(agg.arg)),
                 )
             elif agg.func in ("sum", "avg"):
                 arg = child.columns[str(agg.arg)].astype(np.float64)
@@ -630,13 +811,25 @@ class Executor:
             },
         )
 
-    @staticmethod
-    def _count_distinct(codes, values, n_groups, encoding=None):
+    def _count_distinct(self, codes, values, n_groups, encoding=None,
+                        carried=None):
         if len(codes) == 0:
             return np.empty(0, dtype=np.int64)
-        vcodes = factorize(values, encoding)
+        vcodes = factorize(values, encoding, carried)
         span = int(vcodes.max()) + 1
-        pairs = np.unique(codes * span + vcodes)
+        keys = codes * span + vcodes
+        if self._subplans is not None and n_groups * span <= max(
+            4 * len(codes), 65536
+        ):
+            # Sort-free pair dedup: the (group, value) key space is
+            # small, so a presence scan counts each group's distinct
+            # values — the same counts the unique-sort below derives.
+            present = np.zeros(n_groups * span, dtype=bool)
+            present[keys] = True
+            return present.reshape(n_groups, span).sum(
+                axis=1
+            ).astype(np.int64)
+        pairs = np.unique(keys)
         group_of_pair = pairs // span
         return np.bincount(group_of_pair, minlength=n_groups).astype(np.int64)
 
@@ -652,6 +845,34 @@ class Executor:
             return sorted_values[starts]
         ends = np.searchsorted(sorted_codes, np.arange(n_groups), "right")
         return sorted_values[ends - 1]
+
+
+def _code_keys_of(plan):
+    """Batch keys the plan consumes as join/group/distinct keys.
+
+    Scans only carry dictionary codes for these keys — everything else
+    would be gathered through every operator and then thrown away.
+    """
+    keys = set()
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, HashJoin):
+            keys.update(node.left_keys)
+            keys.update(node.right_keys)
+            stack.append(node.left)
+            stack.append(node.right)
+        elif isinstance(node, HashAggregate):
+            keys.update(node.group_keys)
+            for agg in node.aggregates:
+                if agg.func == "count" and agg.distinct:
+                    keys.add(str(agg.arg))
+            stack.append(node.child)
+        elif isinstance(node, Project):
+            stack.append(node.child)
+        elif isinstance(node, IndexNLJoin):
+            stack.append(node.outer)
+    return frozenset(keys)
 
 
 def _compare(values, op, literal):

@@ -1,0 +1,131 @@
+"""Morsel-driven intra-query parallelism (``REPRO_MORSEL_ROWS``).
+
+The executor's row-at-a-time kernels — filter comparisons, semijoin
+membership tests, hash-join probes — are embarrassingly parallel over
+row ranges.  A :class:`MorselPool` splits such a kernel into fixed-size
+*morsels* (contiguous row ranges), evaluates them on a thread pool
+(NumPy releases the GIL inside its kernels), and reassembles the
+per-morsel outputs **in morsel order**, so the result is byte-identical
+to the single-shot evaluation regardless of worker scheduling.
+
+Morsel execution is opt-in and off by default: ``REPRO_MORSEL_ROWS=0``
+(or unset) disables it, any positive value is the morsel size in rows.
+The default is off because the virtual-clock engine charges identical
+costs either way and the benchmark container is single-core; CI runs
+the fig4 pipeline with ``REPRO_MORSEL_ROWS=65536`` and asserts
+byte-identical figures against the default run.
+
+Determinism contract (the LCK001 story): submitted kernels are pure —
+they read shared arrays and *return* their slice's output; nothing
+shared is written from a worker.  Results are gathered from the
+futures in submission order, which is morsel order.
+"""
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from .. import obs
+
+MORSEL_ENV = "REPRO_MORSEL_ROWS"
+
+# Guard against degenerate splits: below this size the dispatch
+# overhead dwarfs any kernel, whatever the environment says.
+MIN_MORSEL_ROWS = 1024
+
+
+def morsel_rows(value=None):
+    """The configured morsel size in rows (0 = morsel execution off).
+
+    ``value`` overrides when given; otherwise ``REPRO_MORSEL_ROWS``
+    decides.  Unset, empty, or unparsable values mean off; positive
+    values are clamped up to :data:`MIN_MORSEL_ROWS`.
+    """
+    if value is None:
+        raw = os.environ.get(MORSEL_ENV, "").strip()
+        if not raw:
+            return 0
+        try:
+            value = int(raw)
+        except ValueError:
+            return 0
+    if value <= 0:
+        return 0
+    return max(int(value), MIN_MORSEL_ROWS)
+
+
+class MorselPool:
+    """Splits array kernels into fixed-size morsels on a thread pool.
+
+    Attributes:
+        rows: the morsel size; inputs at or below it run inline.
+
+    The underlying :class:`ThreadPoolExecutor` is created lazily under
+    a lock (databases are constructed eagerly, most never execute a
+    batch large enough to split) and shared by every executor of the
+    owning database.
+    """
+
+    def __init__(self, rows, max_workers=None):
+        self.rows = rows
+        self._max_workers = max_workers
+        self._lock = threading.Lock()
+        self._pool = None
+
+    @classmethod
+    def from_env(cls):
+        """A pool per ``REPRO_MORSEL_ROWS``, or ``None`` when off."""
+        rows = morsel_rows()
+        if rows <= 0:
+            return None
+        return cls(rows)
+
+    def _ensure_pool(self):
+        with self._lock:
+            if self._pool is None:
+                workers = self._max_workers or min(os.cpu_count() or 1, 8)
+                self._pool = ThreadPoolExecutor(
+                    max_workers=workers,
+                    thread_name_prefix="repro-morsel",
+                )
+            return self._pool
+
+    def map_slices(self, kernel, length):
+        """``kernel(lo, hi)`` over fixed-size ranges, results in order.
+
+        Args:
+            kernel: pure callable evaluating rows ``[lo, hi)`` and
+                returning an array; it must not write shared state.
+            length: total row count.
+
+        Returns:
+            The per-morsel results in ascending range order (a single
+            inline call when ``length`` fits one morsel).
+        """
+        if length <= self.rows:
+            return [kernel(0, length)]
+        bounds = [
+            (lo, min(lo + self.rows, length))
+            for lo in range(0, length, self.rows)
+        ]
+        obs.counter_add("morsel.batches")
+        obs.counter_add("morsel.morsels", len(bounds))
+        pool = self._ensure_pool()
+        futures = [pool.submit(kernel, lo, hi) for lo, hi in bounds]
+        return [future.result() for future in futures]
+
+    def map_concat(self, kernel, length):
+        """Like :meth:`map_slices`, concatenated back into one array."""
+        parts = self.map_slices(kernel, length)
+        if len(parts) == 1:
+            return parts[0]
+        return np.concatenate(parts)
+
+    def shutdown(self):
+        """Stop the worker threads (pickling/teardown path)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False)

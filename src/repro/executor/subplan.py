@@ -1,0 +1,170 @@
+"""Shared subplan results across queries (``REPRO_SUBPLAN_CACHE``).
+
+Template-generated workloads re-execute the same *subplans* over and
+over: every member of a semijoin family re-aggregates the identical
+subquery (``SELECT key FROM t GROUP BY key HAVING COUNT(*) op c``
+differs only in ``c`` — the expensive value/count pass is shared), and
+repeated scan+filter combinations recompute the same row masks.  A
+:class:`SubplanCache`, owned by a
+:class:`~repro.engine.database.Database` and handed to every
+:class:`~repro.executor.engine.Executor` it constructs, memoizes those
+intermediates across queries:
+
+* **semijoin value/count pairs** — the ``(values, counts)`` aggregation
+  of a semijoin subquery source, keyed by how the executor evaluates it
+  (base-table scan, index-only leading-key pass, or materialized view)
+  so each evaluation strategy caches its own result;
+* **filter masks** — the boolean keep-mask of a filter set applied to
+  an unfiltered base batch, keyed by ``(table, (column, op, value)…)``.
+
+The cache is a pure optimization: the executor charges the virtual
+clock exactly as if it had recomputed the intermediate, so actual costs
+``A(q, C)`` and every result batch are byte-identical with the cache on
+or off (``REPRO_SUBPLAN_CACHE=0`` disables it; CI asserts fig4/fig7
+byte-identity in both modes).
+
+Consistency follows the :class:`~repro.storage.encoding.DictionaryCache`
+convention: every entry records the storage arrays it was computed
+from, and a lookup only hits when those arrays are — by identity —
+still the live ones.  ``append_rows`` builds new arrays, a rebuilt view
+or index is a new object graph, so stale entries can never be served.
+:meth:`invalidate` (wired into ``Database.invalidate_caches``, keeping
+the INV001 lint contract) clears the cache outright; access-time
+identity validation makes that a garbage collection, not a correctness
+requirement.
+"""
+
+import os
+import threading
+
+from .. import obs
+
+SUBPLAN_ENV = "REPRO_SUBPLAN_CACHE"
+
+# Entry bounds: payloads hold real arrays (value sets, row masks,
+# merged join domains), so unlike the key-only plan caches these stay
+# deliberately small; the oldest entry is dropped on overflow.
+MAX_SEMI_ENTRIES = 1024
+MAX_MASK_ENTRIES = 256
+MAX_DOMAIN_ENTRIES = 256
+
+
+def subplan_cache_enabled(flag=None):
+    """Whether the subplan cache is on: argument, else ``REPRO_SUBPLAN_CACHE``.
+
+    Any value other than ``"0"``, ``"false"``, ``"no"`` or ``"off"``
+    (case-insensitive) enables it; the default — no environment
+    variable at all — is enabled.
+    """
+    if flag is not None:
+        return bool(flag)
+    value = os.environ.get(SUBPLAN_ENV, "1").strip().lower()
+    return value not in ("0", "false", "no", "off")
+
+
+class SubplanCache:
+    """Cross-query memo of semijoin aggregations and base filter masks.
+
+    Entries are validated by *identity* of the backing storage arrays
+    on every lookup, so a hit is only possible while the data the entry
+    was computed from is still live.  The cache is shared by every
+    executor a database constructs (a
+    :class:`~repro.runtime.session.MeasurementSession` pool runs them
+    concurrently), hence the lock.
+    """
+
+    def __init__(self):
+        # Deferred import: repro.catalog.schema imports repro.storage at
+        # interpreter start, and repro.runtime's package init reaches
+        # back through repro.engine — a module-level import here would
+        # close that cycle before catalog.schema finishes loading.
+        from ..runtime.cache import CacheStats
+
+        self.stats = CacheStats("subplan_cache")
+        self._lock = threading.Lock()
+        # key -> (backing array tuple, payload)
+        self._semis = {}
+        self._masks = {}
+        self._domains = {}
+
+    # ------------------------------------------------------------------
+
+    def semi_values(self, key, backing, build):
+        """The ``(values, counts)`` pair of one semijoin source.
+
+        Args:
+            key: hashable identity of the source (via + names).
+            backing: tuple of the storage arrays the result is derived
+                from; a cached entry is served only when every array is
+                identical (``is``) to the stored one.
+            build: zero-argument callable computing the pair on a miss.
+
+        Returns:
+            The cached or freshly built ``(values, counts)``.
+        """
+        return self._lookup(
+            self._semis, MAX_SEMI_ENTRIES, key, backing, build,
+            "subplan.semi_hits", "subplan.semi_builds",
+        )
+
+    def filter_mask(self, key, backing, build):
+        """The keep-mask of one filter set over an unfiltered base batch.
+
+        Same contract as :meth:`semi_values`; ``backing`` holds the
+        filtered columns' storage arrays.
+        """
+        return self._lookup(
+            self._masks, MAX_MASK_ENTRIES, key, backing, build,
+            "subplan.mask_hits", "subplan.mask_builds",
+        )
+
+    def join_domain(self, key, backing, build):
+        """The merged sorted domain of one dictionary pair.
+
+        Joins between differently-encoded columns map both sides into
+        the ``union1d`` of their dictionaries; that merge and the two
+        code-translation tables depend only on the dictionaries, which
+        every join over the same column pair shares.  ``key`` carries
+        the pair's ``id``s; the identity check over ``backing`` (the
+        two sorted value arrays) makes an ``id`` reuse a harmless miss.
+        """
+        return self._lookup(
+            self._domains, MAX_DOMAIN_ENTRIES, key, backing, build,
+            "subplan.domain_hits", "subplan.domain_builds",
+        )
+
+    def _lookup(self, entries, bound, key, backing, build,
+                hit_metric, build_metric):
+        with self._lock:
+            entry = entries.get(key)
+        if entry is not None and len(entry[0]) == len(backing) and all(
+            cached is live for cached, live in zip(entry[0], backing)
+        ):
+            self.stats.hits += 1
+            obs.counter_add(hit_metric)
+            return entry[1]
+        self.stats.misses += 1
+        payload = build()
+        obs.counter_add(build_metric)
+        with self._lock:
+            while len(entries) >= bound:
+                entries.pop(next(iter(entries)))
+            entries[key] = (tuple(backing), payload)
+        return payload
+
+    # ------------------------------------------------------------------
+
+    def invalidate(self):
+        """Drop every entry (data/configuration/statistics changed).
+
+        Called from ``Database.invalidate_caches`` on every state
+        transition.  Access-time identity validation already prevents
+        stale serves; the sweep reclaims the arrays the dead entries
+        pin.
+        """
+        with self._lock:
+            self._semis.clear()
+            self._masks.clear()
+            self._domains.clear()
+            self.stats.invalidations += 1
+        obs.counter_add("cache.subplan_cache.invalidations")

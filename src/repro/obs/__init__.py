@@ -50,6 +50,7 @@ from .report import (
 )
 from .schemas import (
     BENCH_ENCODING_SCHEMA,
+    BENCH_MULTIQUERY_SCHEMA,
     BENCH_SHARDING_SCHEMA,
     BENCH_WHATIF_SCHEMA,
     EVENT_RECORD_SCHEMA,
@@ -57,6 +58,7 @@ from .schemas import (
     SPAN_RECORD_SCHEMA,
     SchemaError,
     validate_bench_encoding,
+    validate_bench_multiquery,
     validate_bench_sharding,
     validate_bench_whatif,
     validate_run_report,
@@ -66,6 +68,7 @@ from .spans import Span
 
 __all__ = [
     "BENCH_ENCODING_SCHEMA",
+    "BENCH_MULTIQUERY_SCHEMA",
     "BENCH_SHARDING_SCHEMA",
     "BENCH_WHATIF_SCHEMA",
     "EVENT_RECORD_SCHEMA",
@@ -92,6 +95,7 @@ __all__ = [
     "render_text",
     "span",
     "validate_bench_encoding",
+    "validate_bench_multiquery",
     "validate_bench_sharding",
     "validate_bench_whatif",
     "validate_run_report",

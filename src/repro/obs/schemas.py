@@ -440,3 +440,81 @@ BENCH_SHARDING_SCHEMA = {
 def validate_bench_sharding(document, path="$"):
     """Validate a decoded ``BENCH_sharding.json`` document."""
     return validate_instance(document, BENCH_SHARDING_SCHEMA, path)
+
+
+# ----------------------------------------------------------------------
+# Cross-query optimization perf benchmark (BENCH_multiquery.json,
+# written by benchmarks/bench_perf_multiquery.py; prose version in
+# docs/performance.md#cross-query-optimization).
+
+_MULTIQUERY_MODE_SCHEMA = {
+    "type": "object",
+    "required": ["wall_seconds", "plans_enumerated", "plan_builds",
+                 "plan_replays", "bind_builds", "bind_replays",
+                 "fallbacks", "subplan_hits", "subplan_builds",
+                 "morsel_batches", "figure_fingerprint",
+                 "costs_fingerprint"],
+    "properties": {
+        "wall_seconds": {"type": "number", "minimum": 0},
+        "plans_enumerated": {"type": "integer", "minimum": 0},
+        "plan_builds": {"type": "integer", "minimum": 0},
+        "plan_replays": {"type": "integer", "minimum": 0},
+        "bind_builds": {"type": "integer", "minimum": 0},
+        "bind_replays": {"type": "integer", "minimum": 0},
+        "fallbacks": {"type": "integer", "minimum": 0},
+        "subplan_hits": {"type": "integer", "minimum": 0},
+        "subplan_builds": {"type": "integer", "minimum": 0},
+        "morsel_batches": {"type": "integer", "minimum": 0},
+        "figure_fingerprint": {"type": "string"},
+        "costs_fingerprint": {"type": "string"},
+    },
+    "additionalProperties": False,
+}
+
+BENCH_MULTIQUERY_SCHEMA = {
+    "type": "object",
+    "required": ["schema", "run", "targets"],
+    "properties": {
+        "schema": {"enum": ["repro.bench_multiquery/v1"]},
+        "run": {
+            "type": "object",
+            "required": ["id", "smoke", "scale", "workload_size", "seed",
+                         "jobs"],
+            "properties": {
+                "id": {"type": "string"},
+                "smoke": {"type": "boolean"},
+                "scale": {"type": "number"},
+                "workload_size": {"type": "integer", "minimum": 1},
+                "seed": {"type": "integer"},
+                "jobs": {"type": "integer", "minimum": 1},
+            },
+            "additionalProperties": False,
+        },
+        "targets": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["target", "system", "family", "identical",
+                             "speedup", "plans_ratio", "optimized",
+                             "baseline"],
+                "properties": {
+                    "target": {"type": "string"},
+                    "system": {"type": "string"},
+                    "family": {"type": "string"},
+                    "identical": {"type": "boolean"},
+                    "speedup": {"type": "number", "minimum": 0},
+                    "plans_ratio": {"type": "number", "minimum": 0},
+                    "optimized": _MULTIQUERY_MODE_SCHEMA,
+                    "baseline": _MULTIQUERY_MODE_SCHEMA,
+                },
+                "additionalProperties": False,
+            },
+        },
+    },
+    "additionalProperties": False,
+}
+
+
+def validate_bench_multiquery(document, path="$"):
+    """Validate a decoded ``BENCH_multiquery.json`` document."""
+    return validate_instance(document, BENCH_MULTIQUERY_SCHEMA, path)

@@ -356,15 +356,17 @@ class Planner:
             dp[full] = dp_full
         return dp[full]
 
-    def _join_candidates(self, bound, outer, alias, alias_paths, preds):
+    def _join_candidates(self, bound, outer, alias, alias_paths, preds,
+                         sel=None):
         table = bound.relations[alias]
         outer_rows = outer.est.rows
-        sel = 1.0
-        for pred in preds:
-            (o_alias, o_col), (i_col,) = _orient(pred, alias)
-            sel *= self._est.join_selectivity(
-                bound.relations[o_alias], o_col, table, i_col
-            )
+        if sel is None:
+            sel = 1.0
+            for pred in preds:
+                (o_alias, o_col), (i_col,) = _orient(pred, alias)
+                sel *= self._est.join_selectivity(
+                    bound.relations[o_alias], o_col, table, i_col
+                )
         candidates = []
 
         for inner_path in alias_paths:

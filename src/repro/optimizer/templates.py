@@ -1,0 +1,290 @@
+"""Cross-query plan templates (``REPRO_PLAN_TEMPLATES``).
+
+Benchmark workloads are template-generated: a family fixes the join
+shape, aggregates and predicate columns while the constant-selection
+ladders vary the literals.  Every member still pays a full optimization
+— semijoin-source planning, access-path discovery, and the dynamic
+programming join enumeration — even though only the constants (and
+therefore only the *costs*, never the candidate structure) change.
+
+A :class:`PlanTemplate` captures what is provably shared by every query
+with the same :func:`template_key`:
+
+* the **join program**: the exact sequence of DP extension steps
+  ``(subset, alias, rest, preds)`` the enumeration would evaluate,
+  derived once from the join graph.
+
+The program is *purely structural* — a function of the relations and
+join predicates the key pins literally, never of the environment.
+Everything environment- or member-specific is recomputed at replay
+through the *same* planner code: semijoin sources, join selectivities,
+filter selectivities, access paths, join candidate costing, build-side
+choices, the final aggregation.  The produced plan is therefore
+bit-identical to a full enumeration — including data-dependent
+plan-shape flips — and one template serves every environment that
+presents the same structure (the real configuration and each what-if
+candidate a recommender probes).  What a replay skips is the structure
+discovery itself: subset generation, join-graph connectivity, and
+reachability bookkeeping.
+
+``optimizer.plans_enumerated`` therefore counts only full enumerations
+(template misses and fallbacks); replays count ``template.plan_replays``.
+
+The key abstracts filter constants entirely instead of bucketing them:
+replays recompute every filter selectivity, so members whose constants
+land in different selectivity buckets still share one template.  The
+workload layer's coarser identity (family + ladder bucket, see
+:meth:`repro.workload.workload.QueryInstance.template_key`) predicts
+which instances collapse here.
+"""
+
+import os
+from dataclasses import dataclass
+
+from .. import obs
+from .planner import (
+    MAX_DP_RELATIONS,
+    Planner,
+    _connecting_preds,
+    _subsets,
+)
+
+TEMPLATES_ENV = "REPRO_PLAN_TEMPLATES"
+
+_DISABLED = {"0", "false", "no", "off"}
+
+
+def templates_enabled(flag=None):
+    """Whether the template plan caches are on.
+
+    ``flag`` overrides when given; otherwise ``REPRO_PLAN_TEMPLATES``
+    decides (default on, ``0``/``false``/``no``/``off`` disable).
+    """
+    if flag is not None:
+        return bool(flag)
+    raw = os.environ.get(TEMPLATES_ENV)
+    if raw is None:
+        return True
+    return raw.strip().lower() not in _DISABLED
+
+
+# ----------------------------------------------------------------------
+# Template identity
+
+
+def template_key(bound, env):
+    """Structural identity of a bound query under a planner environment.
+
+    Two bound queries with the same key are guaranteed to drive the DP
+    enumeration through the same extension steps: same relations, join
+    graph, aggregate shape, and semijoins (literally, constants
+    included).  Filter columns that nothing else references are
+    abstracted to positional slots; every other column is pinned
+    literally.  The environment does not enter the key — the shared
+    recipe is purely structural, so one template serves the real
+    configuration and every what-if candidate alike (the env argument
+    only gates the view guard below).
+
+    Returns ``None`` when the query is outside the template-safe subset
+    and must take the ordinary planner path:
+
+    * no relations, or more than the DP bound (the planner's own error
+      paths must fire unchanged);
+    * the environment defines materialized views (view matching inspects
+      concrete column names and aggregate decomposability — it is not
+      slot-invariant);
+    * duplicate filters on one ``(alias, column)`` (the planner's
+      last-wins equality-map and residual-filter semantics are then
+      position- and value-sensitive).
+    """
+    if not bound.relations or len(bound.relations) > MAX_DP_RELATIONS:
+        return None
+    if env.views:
+        return None
+    seen = set()
+    for flt in bound.filters:
+        target = (flt.target.alias, flt.target.column)
+        if target in seen:
+            return None
+        seen.add(target)
+
+    pinned = set()
+    for pred in bound.join_preds:
+        for side in (pred.left, pred.right):
+            pinned.add((side.alias, side.column))
+    for semi in bound.semijoins:
+        pinned.add((semi.target.alias, semi.target.column))
+    for col in bound.group_by:
+        pinned.add((col.alias, col.column))
+    for agg in bound.aggregates:
+        if agg.arg is not None:
+            pinned.add((agg.arg.alias, agg.arg.column))
+    for kind, ref in bound.output:
+        if kind == "col":
+            pinned.add((ref.alias, ref.column))
+
+    slots = {}
+    filters = []
+    for flt in bound.filters:
+        target = (flt.target.alias, flt.target.column)
+        if target in pinned:
+            label = f"={flt.target.column}"
+        else:
+            if target not in slots:
+                slots[target] = f"s{len(slots)}"
+            label = slots[target]
+        filters.append((flt.target.alias, label, flt.op))
+
+    return (
+        tuple(bound.relations.items()),
+        tuple((str(p.left), str(p.right)) for p in bound.join_preds),
+        tuple(filters),
+        tuple(
+            (str(s.target), s.sub_table, s.sub_column, s.having_op)
+            for s in bound.semijoins
+        ),
+        tuple(str(c) for c in bound.group_by),
+        tuple(
+            (a.func, None if a.arg is None else str(a.arg), a.distinct)
+            for a in bound.aggregates
+        ),
+        tuple(
+            (kind, str(ref) if kind == "col" else ref)
+            for kind, ref in bound.output
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Recipes
+
+
+@dataclass
+class _Recipe:
+    """What one template shares: the structural DP join program."""
+
+    steps: list          # (subset, alias, rest, pred indexes)
+
+
+class PlanTemplate:
+    """Mutable cache entry for one ``(environment, template_key)``.
+
+    The first query to arrive runs the full enumeration and publishes
+    the recipe; later members replay it.  Publication is a single
+    attribute store, so concurrent discoveries race benignly (both
+    compute identical recipes and either may win).
+    """
+
+    __slots__ = ("recipe", "unsupported")
+
+    def __init__(self):
+        self.recipe = None
+        self.unsupported = False
+
+
+class TemplatePlanner(Planner):
+    """A planner that discovers or replays a :class:`PlanTemplate`."""
+
+    def plan_with_template(self, bound, template):
+        recipe = template.recipe
+        if recipe is not None:
+            return self._replay(bound, recipe)
+        plan = super().plan(bound)
+        if not template.unsupported:
+            recipe = self._compile(bound)
+            if recipe is None:
+                template.unsupported = True
+                obs.counter_add("template.unsupported")
+            else:
+                template.recipe = recipe
+                obs.counter_add("template.plan_builds")
+        return plan
+
+    # -- discovery ------------------------------------------------------
+
+    def _compile(self, bound):
+        """Derive the shared recipe; None when the program cannot cover
+        the query (disconnected join graph — the cartesian fallback is
+        dict-order-sensitive, so such queries keep full planning)."""
+        steps = self._build_program(bound)
+        if steps is None:
+            return None
+        return _Recipe(steps=steps)
+
+    def _build_program(self, bound):
+        """The exact (subset, alias) extension sequence the DP evaluates.
+
+        Mirrors :meth:`Planner._enumerate_joins` with no views in the
+        environment (guaranteed by :func:`template_key`): a subset enters
+        the table iff one of its alias splits has a reachable remainder
+        and at least one connecting predicate.
+        """
+        aliases = list(bound.relations)
+        reachable = {frozenset([alias]) for alias in aliases}
+        steps = []
+        for size in range(2, len(aliases) + 1):
+            for subset in _subsets(aliases, size):
+                key = frozenset(subset)
+                extended = False
+                for alias in subset:
+                    rest = key - {alias}
+                    if rest not in reachable:
+                        continue
+                    preds = _connecting_preds(bound, rest, alias)
+                    if not preds:
+                        continue
+                    steps.append((
+                        key,
+                        alias,
+                        rest,
+                        tuple(bound.join_preds.index(p) for p in preds),
+                    ))
+                    extended = True
+                if extended:
+                    reachable.add(key)
+        if frozenset(aliases) not in reachable:
+            return None
+        return steps
+
+    # -- replay ---------------------------------------------------------
+
+    def _replay(self, bound, recipe):
+        """Re-cost the member through the recorded program.
+
+        Every member- or environment-specific quantity — semijoin
+        sources, join selectivities, filter selectivities, access path
+        costs, join candidate costs, build-side choices, the final
+        aggregation estimate — is recomputed by the inherited planner
+        methods against *this* planner's environment, so the result is
+        bit-identical to a full enumeration, and the purely structural
+        recipe is safe to share across environments.
+        """
+        semi_sources = {
+            id(semi): self._plan_semi_source(semi)
+            for semi in bound.semijoins
+        }
+        paths = {
+            alias: self._access_paths(bound, alias, semi_sources)
+            for alias in bound.relations
+        }
+        obs.counter_add("template.plan_replays")
+        obs.counter_add(
+            "optimizer.access_paths_considered",
+            sum(len(alias_paths) for alias_paths in paths.values()),
+        )
+        dp = {}
+        for alias in bound.relations:
+            dp[frozenset([alias])] = min(
+                paths[alias], key=lambda p: p.est.cost
+            )
+        for key, alias, rest, pred_idx in recipe.steps:
+            outer = dp[rest]
+            preds = [bound.join_preds[i] for i in pred_idx]
+            best = dp.get(key)
+            for candidate in self._join_candidates(
+                bound, outer, alias, paths[alias], preds
+            ):
+                if best is None or candidate.est.cost < best.est.cost:
+                    best = candidate
+            dp[key] = best
+        return self._finalize(bound, dp[frozenset(bound.relations)])

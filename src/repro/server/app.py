@@ -184,6 +184,7 @@ class TuningService:
         return 200, {
             "sessions": self.store.snapshot(),
             "jobs": self.queue.snapshot(),
+            "engine": self.queue.engine_counters(),
         }
 
     def get_health(self, match, query, body):

@@ -49,6 +49,10 @@ FAILED = "failed"
 
 CONFIG_NAMES = ("P", "1C", "R")
 
+# Cross-query engine counters surfaced by ``GET /v1/metrics``: the
+# template plan cache, the shared-subplan cache, and morsel execution.
+ENGINE_COUNTER_PREFIXES = ("template.", "subplan.", "morsel.")
+
 
 class JobQueueFull(RuntimeError):
     """The pending-job bound is hit; the caller should retry later."""
@@ -287,6 +291,7 @@ class JobQueue:
         self._rejected = 0
         self._completed = 0
         self._failed = 0
+        self._engine_counters = {}
 
     # ------------------------------------------------------------------
     # Intake
@@ -350,6 +355,26 @@ class JobQueue:
                 "failed": self._failed,
             }
 
+    def engine_counters(self):
+        """Queue-lifetime cross-query engine counters (a plain dict).
+
+        The cumulative ``template.*`` / ``subplan.*`` / ``morsel.*``
+        counters of every finished job, folded together for
+        ``GET /v1/metrics``.  Read-only aggregation after each job's
+        recorder is closed, so nothing here can leak into a report.
+        """
+        with self._lock:
+            return dict(self._engine_counters)
+
+    def _absorb_engine_counters(self, counters):
+        """Fold one finished job's engine counters into the totals."""
+        with self._lock:
+            for name, value in counters.items():
+                if name.startswith(ENGINE_COUNTER_PREFIXES):
+                    self._engine_counters[name] = (
+                        self._engine_counters.get(name, 0) + value
+                    )
+
     def close(self):
         """Drain and shut down the worker pool."""
         self._executor.shutdown(wait=True)
@@ -375,6 +400,9 @@ class JobQueue:
                 recorder=recorder, experiments=[_label(job)]
             )
             obs.validate_run_report(report)
+        self._absorb_engine_counters(
+            recorder.metrics.snapshot().get("counters", {})
+        )
         job.finish(result, report)
 
     def _finalize(self, job, future):

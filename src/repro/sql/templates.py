@@ -1,0 +1,210 @@
+"""Bind templates: parse/bind once per SQL skeleton, rebind constants.
+
+Workload families emit thousands of SQL strings that differ only in
+their literals.  :class:`BindTemplates` abstracts each string to its
+*skeleton* — the text with literal tokens removed — and binds one
+representative per skeleton; every later member is produced by lexing
+its literals and substituting them into a clone of the cached
+:class:`~repro.sql.binder.BoundQuery`.
+
+Correctness rests on a sentinel probe, not on guessing where literals
+land: the skeleton is re-parsed once with a distinct sentinel in every
+literal position, and the bound probe reveals which filter (with which
+sign) or semijoin HAVING constant each position feeds, plus the
+canonical ``to_sql`` rendering the bound form's ``sql`` field needs.  A
+skeleton whose probe cannot account for every literal exactly once
+falls back to ordinary parse+bind permanently.
+
+The rebound query is equal (dataclass equality, ``sql`` text included)
+to what ``Binder.bind(parse(sql))`` would produce — the binder has no
+value-dependent checks beyond the ``int()`` coercion of HAVING
+constants, which the slot transform reproduces.
+"""
+
+from dataclasses import dataclass, replace
+
+from .. import obs
+from ..common.errors import BindError, ParseError
+from .ast import Literal
+from .binder import Binder, BoundQuery
+from .parser import parse, scan_literals
+
+# 9-digit sentinels: no value is a substring of another (equal length,
+# distinct), so locating their renderings in the normalized SQL is exact.
+_SENTINEL_BASE = 880_000_003
+_SENTINEL_STEP = 1_009
+
+def _sentinel_int(i):
+    return _SENTINEL_BASE + _SENTINEL_STEP * i
+
+
+def _sentinel_str(i):
+    return f"@@repro-slot-{i}@@"
+
+
+def _convert_number(text):
+    return float(text) if "." in text else int(text)
+
+
+def _convert_string(text):
+    return text[1:-1].replace("''", "'")
+
+
+def _split_literals(sql):
+    """(segments, lexemes, kinds): the skeleton and its literal tokens."""
+    segments, lexemes, kinds = [], [], []
+    last = 0
+    for kind, text, pos in scan_literals(sql):
+        segments.append(sql[last:pos])
+        lexemes.append(text)
+        kinds.append(kind)
+        last = pos + len(text)
+    segments.append(sql[last:])
+    return segments, lexemes, kinds
+
+
+@dataclass
+class _Template:
+    """One skeleton's bound probe and literal-slot map."""
+
+    bound: BoundQuery        # probe binding (sentinel values)
+    slots: list              # per literal: ("filter"|"semi", index, sign)
+    norm_segments: list      # bound.sql split at the literal renderings
+
+
+class BindTemplates:
+    """Per-database cache of bind templates (keyed by SQL skeleton)."""
+
+    def __init__(self, catalog):
+        self._catalog = catalog
+        self._templates = {}
+
+    def clear(self):
+        self._templates.clear()
+
+    def __len__(self):
+        return len(self._templates)
+
+    def bind(self, sql):
+        """Bind ``sql`` through its skeleton template.
+
+        Returns ``None`` when the skeleton is not template-safe; the
+        caller then parses and binds normally (and surfaces that path's
+        own errors, so template probing never changes error behavior).
+        """
+        segments, lexemes, kinds = _split_literals(sql)
+        key = (tuple(segments), tuple(kinds))
+        template = self._templates.get(key)
+        if template is None:
+            template = self._build(segments, kinds)
+            self._templates[key] = template
+            if template is not None:
+                obs.counter_add("template.bind_builds")
+        if template is None:
+            return None
+        obs.counter_add("template.bind_replays")
+        return self._instantiate(template, lexemes, kinds)
+
+    # ------------------------------------------------------------------
+
+    def _build(self, segments, kinds):
+        probe_lexemes = []
+        for i, kind in enumerate(kinds):
+            if kind == "number":
+                probe_lexemes.append(str(_sentinel_int(i)))
+            else:
+                probe_lexemes.append(f"'{_sentinel_str(i)}'")
+        probe_sql = _join(segments, probe_lexemes)
+        try:
+            bound = Binder(self._catalog).bind(parse(probe_sql))
+        except (ParseError, BindError, ValueError):
+            # A failing probe means the member would fail the same way;
+            # the fallback path surfaces the member's own error.
+            return None
+
+        int_slots = {_sentinel_int(i): i for i, k in enumerate(kinds)
+                     if k == "number"}
+        str_slots = {_sentinel_str(i): i for i, k in enumerate(kinds)
+                     if k == "string"}
+        slots = [None] * len(kinds)
+
+        def claim(value, kind, index):
+            """Match one bound constant back to its literal position."""
+            if isinstance(value, str):
+                i = str_slots.get(value)
+                sign = 1
+            else:
+                i = int_slots.get(value)
+                sign = 1
+                if i is None:
+                    i = int_slots.get(-value)
+                    sign = -1
+            if i is None or slots[i] is not None:
+                return False
+            slots[i] = (kind, index, sign)
+            return True
+
+        for index, flt in enumerate(bound.filters):
+            if not claim(flt.value, "filter", index):
+                return None
+        for index, semi in enumerate(bound.semijoins):
+            if not claim(semi.having_value, "semi", index):
+                return None
+        if any(slot is None for slot in slots):
+            return None
+
+        norm_segments = []
+        rest = bound.sql
+        for i, slot in enumerate(slots):
+            rendered = Literal(self._probe_value(i, kinds[i], slot)).to_sql()
+            pos = rest.find(rendered)
+            if pos < 0:
+                return None
+            norm_segments.append(rest[:pos])
+            rest = rest[pos + len(rendered):]
+        norm_segments.append(rest)
+        return _Template(bound=bound, slots=slots,
+                         norm_segments=norm_segments)
+
+    @staticmethod
+    def _probe_value(i, kind, slot):
+        if kind == "string":
+            return _sentinel_str(i)
+        return slot[2] * _sentinel_int(i)
+
+    def _instantiate(self, template, lexemes, kinds):
+        filters = list(template.bound.filters)
+        semijoins = list(template.bound.semijoins)
+        rendered = []
+        for i, (lexeme, kind) in enumerate(zip(lexemes, kinds)):
+            where, index, sign = template.slots[i]
+            if kind == "string":
+                value = _convert_string(lexeme)
+            else:
+                value = sign * _convert_number(lexeme)
+            rendered.append(Literal(value).to_sql())
+            if where == "filter":
+                filters[index] = replace(filters[index], value=value)
+            else:
+                semijoins[index] = replace(
+                    semijoins[index], having_value=int(value)
+                )
+        bound = template.bound
+        return BoundQuery(
+            relations=dict(bound.relations),
+            join_preds=list(bound.join_preds),
+            filters=filters,
+            semijoins=semijoins,
+            group_by=list(bound.group_by),
+            aggregates=list(bound.aggregates),
+            output=list(bound.output),
+            sql=_join(template.norm_segments, rendered),
+        )
+
+
+def _join(segments, lexemes):
+    parts = [segments[0]]
+    for lexeme, segment in zip(lexemes, segments[1:]):
+        parts.append(lexeme)
+        parts.append(segment)
+    return "".join(parts)

@@ -48,6 +48,35 @@ class ShardedDatabase:
         self._shard_runtime.invalidate()
 
 
+class TemplatedDatabase:
+    """Hand-clearing template/subplan caches is not invalidate_caches."""
+
+    def __init__(self):
+        self.tables = {}
+        self._template_cache = TemplateCache()
+        self._subplan_cache = SubplanCache()
+
+    def invalidate_caches(self):
+        self._plan_cache = {}
+        self._template_cache.invalidate()
+        self._subplan_cache.invalidate()
+
+    def append(self, name, rows):
+        self.tables[name].extend(rows)
+        self._template_cache.invalidate()
+        self._subplan_cache.invalidate()
+
+
 class ShardRuntime:
+    def invalidate(self):
+        pass
+
+
+class TemplateCache:
+    def invalidate(self):
+        pass
+
+
+class SubplanCache:
     def invalidate(self):
         pass

@@ -65,6 +65,34 @@ class ShardRuntime:
         pass
 
 
+class TemplatedDatabase:
+    """Template/subplan caches invalidated through invalidate_caches."""
+
+    def __init__(self):
+        self.tables = {}
+        self._template_cache = TemplateCache()
+        self._subplan_cache = SubplanCache()
+
+    def invalidate_caches(self):
+        self._plan_cache = {}
+        self._template_cache.invalidate()
+        self._subplan_cache.invalidate()
+
+    def append(self, name, rows):
+        self.tables[name].extend(rows)
+        self.invalidate_caches()
+
+
+class TemplateCache:
+    def invalidate(self):
+        pass
+
+
+class SubplanCache:
+    def invalidate(self):
+        pass
+
+
 class NotADatabase:
     """Defines no invalidate_caches, so INV001 never applies to it."""
 

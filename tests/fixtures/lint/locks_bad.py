@@ -51,3 +51,20 @@ class JobRunner:
         job.run()
         self.completed += 1
         return job
+
+
+class MorselPool:
+    """Morsel workers racing on shared slice accounting."""
+
+    def __init__(self, executor):
+        self._executor = executor
+        self.morsels_done = 0
+
+    def map_slices(self, kernel, slices):
+        def run(sl):
+            result = kernel(sl)
+            self.morsels_done += 1
+            return result
+
+        return [f.result() for f in
+                [self._executor.submit(run, sl) for sl in slices]]

@@ -62,3 +62,22 @@ class JobRunner:
         with self._lock:
             self.completed += 1
         return job
+
+
+class MorselPool:
+    """Morsel workers: accounting lock-guarded, results local."""
+
+    def __init__(self, executor):
+        self._executor = executor
+        self._lock = threading.Lock()
+        self.morsels_done = 0
+
+    def map_slices(self, kernel, slices):
+        def run(sl):
+            result = kernel(sl)
+            with self._lock:
+                self.morsels_done += 1
+            return result
+
+        return [f.result() for f in
+                [self._executor.submit(run, sl) for sl in slices]]

@@ -65,11 +65,12 @@ def test_clock_rule_negative():
 def test_invalidation_rule_positive():
     result = lint(FIXTURES / "invalidation_bad.py", "INV001")
     messages = [f.message for f in result.findings]
-    assert len(messages) == 4
+    assert len(messages) == 5
     assert any("MiniDatabase.load_table" in m for m in messages)
     assert any("MiniDatabase.insert" in m for m in messages)
     assert any("DictEncodedDatabase.append" in m for m in messages)
     assert any("ShardedDatabase.load_partition" in m for m in messages)
+    assert any("TemplatedDatabase.append" in m for m in messages)
 
 
 def test_invalidation_rule_negative():
@@ -79,11 +80,12 @@ def test_invalidation_rule_negative():
 def test_lock_rule_positive():
     result = lint(FIXTURES / "locks_bad.py", "LCK001")
     messages = [f.message for f in result.findings]
-    assert len(messages) == 4
+    assert len(messages) == 5
     assert any("self.hits" in m for m in messages)
     assert any("self.total" in m for m in messages)
     assert any("self.bytes_shared" in m for m in messages)
     assert any("self.completed" in m for m in messages)
+    assert any("self.morsels_done" in m for m in messages)
 
 
 def test_lock_rule_negative():

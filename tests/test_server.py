@@ -237,6 +237,14 @@ def test_http_workload_job_runs_and_reports(server):
     metrics = client.metrics()
     assert metrics["jobs"]["completed"] == 1
     assert metrics["sessions"]["active"] == 1
+    # The finished job's cross-query engine counters fold into the
+    # queue-lifetime "engine" block (template replays require at least
+    # two structurally identical queries, so only builds are certain).
+    engine = metrics["engine"]
+    assert all(name.startswith(("template.", "subplan.", "morsel."))
+               for name in engine)
+    assert engine.get("template.bind_builds", 0) >= 1
+    assert engine.get("template.plan_builds", 0) >= 1
 
 
 def test_http_report_409_until_done_and_event_cursor(server):
