@@ -17,9 +17,8 @@ Ablations run at a reduced default scale (``REPRO_ABLATION_SCALE``,
 default 0.25) so the whole set stays in the minutes.
 """
 
-import os
-
 from ..analysis.measurements import measure_workload
+from ..common import knobs
 from ..common.errors import RecommenderGaveUp
 from ..datagen.nref import load_nref_database
 from ..datagen.tpch import load_tpch_database
@@ -37,11 +36,11 @@ from .experiments import ExperimentResult
 
 
 def _scale():
-    return float(os.environ.get("REPRO_ABLATION_SCALE", "0.25"))
+    return float(knobs.text("REPRO_ABLATION_SCALE", "0.25"))
 
 
 def _workload_size():
-    return int(os.environ.get("REPRO_ABLATION_WORKLOAD", "25"))
+    return int(knobs.text("REPRO_ABLATION_WORKLOAD", "25"))
 
 
 def _budget(db):

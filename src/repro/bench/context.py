@@ -23,10 +23,10 @@ per phase, artifact-cache traffic, and each database's planner-cache hit
 rates).
 """
 
-import os
 from dataclasses import dataclass
 
 from .. import obs
+from ..common import knobs
 from ..common.errors import RecommenderGaveUp
 from ..datagen.nref import load_nref_database
 from ..datagen.tpch import load_tpch_database
@@ -77,9 +77,9 @@ class BenchSettings:
     @classmethod
     def from_env(cls):
         return cls(
-            scale=float(os.environ.get("REPRO_SCALE", "1.0")),
-            workload_size=int(os.environ.get("REPRO_WORKLOAD_SIZE", "100")),
-            timeout=float(os.environ.get("REPRO_TIMEOUT", "1800")),
+            scale=float(knobs.text("REPRO_SCALE", "1.0")),
+            workload_size=int(knobs.text("REPRO_WORKLOAD_SIZE", "100")),
+            timeout=float(knobs.text("REPRO_TIMEOUT", "1800")),
         )
 
     def content_key(self):

@@ -1,0 +1,225 @@
+"""The ``REPRO_*`` environment-knob registry — the one place the
+environment enters the system.
+
+Every behavioural environment variable of the reproduction (cache
+switches, pool widths, shard layout, server limits, bench scale) is
+*declared* here with its type, default, and one-line contract, and every
+read of one goes through :func:`text` / :func:`flag` — never through a
+bare ``os.environ`` lookup.  The lint rule ``KNB001`` machine-checks the
+contract project-wide: a ``REPRO_*`` read outside this module, a knob
+referenced but not registered, a registered knob without a row in
+``docs/cli.md``, or one no test under ``tests/`` names, each fail CI.
+The registry is what makes "which knobs exist and what do they do"
+answerable from one file instead of a grep.
+
+Knob *semantics* (clamping, error messages, on/off vocabularies) stay
+with their owning modules — ``repro.storage.sharding`` still decides
+that a shard count below zero clamps to zero — so registering a knob
+changes no behaviour; it only centralizes the environment access and
+the declaration.  See "Registering a knob" in ``docs/static-analysis.md``.
+"""
+
+import os
+from dataclasses import dataclass, field
+
+#: Values that turn a boolean knob off (case-insensitive); anything
+#: else, including the empty string and absence, leaves it at its
+#: declared default.  Shared by every flag knob so the vocabulary
+#: cannot drift between caches.
+FLAG_DISABLED = frozenset({"0", "false", "no", "off"})
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One registered environment knob."""
+
+    name: str           #: the ``REPRO_*`` environment variable
+    kind: str           #: ``flag`` | ``int`` | ``float`` | ``str``
+    default: object     #: value used when the variable is unset
+    description: str    #: one-line contract (mirrored in docs/cli.md)
+    choices: tuple = field(default=())
+
+    def to_json(self):
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "default": self.default,
+            "description": self.description,
+            **({"choices": list(self.choices)} if self.choices else {}),
+        }
+
+
+_REGISTRY = {}
+
+
+def register(name, kind="str", default=None, description="", choices=()):
+    """Declare a knob; returns the :class:`Knob`.
+
+    Registration is idempotent for identical declarations (module
+    reloads) but conflicting re-registration is a programming error.
+
+    Raises:
+        ValueError: ``name`` is not ``REPRO_*`` upper-case, or the knob
+            is already registered with a different declaration.
+    """
+    if not name.startswith("REPRO_") or name != name.upper():
+        raise ValueError(f"knob name {name!r} must be upper-case REPRO_*")
+    knob = Knob(name, kind, default, description, tuple(choices))
+    existing = _REGISTRY.get(name)
+    if existing is not None:
+        if existing != knob:
+            raise ValueError(f"conflicting re-registration of {name!r}")
+        return existing
+    _REGISTRY[name] = knob
+    return knob
+
+
+def is_registered(name):
+    """Whether ``name`` is a declared knob."""
+    return name in _REGISTRY
+
+
+def get(name):
+    """The :class:`Knob` declared under ``name``.
+
+    Raises:
+        KeyError: the knob was never registered.
+    """
+    return _REGISTRY[name]
+
+
+def registered():
+    """Every declared knob, sorted by name (a stable tuple)."""
+    return tuple(_REGISTRY[name] for name in sorted(_REGISTRY))
+
+
+def text(name, default=None):
+    """The raw environment text of a registered knob.
+
+    This is the single sanctioned ``os.environ`` access for ``REPRO_*``
+    variables; owning modules parse/clamp the returned text themselves
+    so their error messages and semantics are unchanged by the registry.
+
+    Args:
+        name: a registered knob name.
+        default: returned when the variable is unset (``None`` by
+            default — callers distinguish "unset" from any set value).
+
+    Raises:
+        KeyError: the knob was never registered — an unregistered read
+            is exactly what ``KNB001`` exists to prevent, so the
+            registry refuses it at runtime too.
+    """
+    knob = _REGISTRY[name]
+    raw = os.environ.get(knob.name)
+    return default if raw is None else raw
+
+
+def flag(name, override=None):
+    """A boolean knob: ``override`` wins, else the environment decides.
+
+    The off-vocabulary is :data:`FLAG_DISABLED`; unset means the knob's
+    declared default.
+
+    Raises:
+        KeyError: the knob was never registered.
+    """
+    if override is not None:
+        return bool(override)
+    knob = _REGISTRY[name]
+    raw = os.environ.get(knob.name)
+    if raw is None:
+        return bool(knob.default)
+    return raw.strip().lower() not in FLAG_DISABLED
+
+
+# ----------------------------------------------------------------------
+# The declarations.  One block per subsystem, mirroring the environment
+# table in docs/cli.md (KNB001 cross-checks name-for-name).
+
+# Runtime
+register(
+    "REPRO_JOBS", "int", 1,
+    "measurement worker-pool width (1 = serial; parallel output is "
+    "byte-identical to serial)",
+)
+register(
+    "REPRO_CACHE_DIR", "str", None,
+    "artifact-store persistence directory (unset = memory only)",
+)
+
+# Bench scale (BenchSettings.from_env and the benchmarks/ drivers)
+register("REPRO_SCALE", "float", 1.0, "data scale factor")
+register(
+    "REPRO_WORKLOAD_SIZE", "int", 100, "queries per sampled workload",
+)
+register(
+    "REPRO_TIMEOUT", "float", 1800.0,
+    "per-query virtual timeout in seconds",
+)
+register(
+    "REPRO_ABLATION_SCALE", "float", 0.25,
+    "reduced data scale for the ablation studies",
+)
+register(
+    "REPRO_ABLATION_WORKLOAD", "int", 25,
+    "reduced workload size for the ablation studies",
+)
+
+# Caches (all byte-identical on/off — the repo's core contract)
+register(
+    "REPRO_WHATIF_CACHE", "flag", True,
+    "what-if cost service memoization (off = serial per-candidate loop)",
+)
+register(
+    "REPRO_DICT_CACHE", "flag", True,
+    "per-database column-dictionary cache (off = per-consumer "
+    "np.unique/np.lexsort)",
+)
+register(
+    "REPRO_PLAN_TEMPLATES", "flag", True,
+    "cross-query bind/plan template caches (off = per-query "
+    "parse/bind/enumerate)",
+)
+register(
+    "REPRO_SUBPLAN_CACHE", "flag", True,
+    "cross-query subplan cache: semijoin pairs, filter masks, join "
+    "domains (off = recompute per query)",
+)
+
+# Storage layout and intra-query execution
+register(
+    "REPRO_SHARDS", "int", 0,
+    "horizontal shard count per table (0 = contiguous storage)",
+)
+register(
+    "REPRO_SHARD_SCHEME", "str", "hash",
+    "shard partitioning scheme", choices=("hash", "range"),
+)
+register(
+    "REPRO_SHARD_JOBS", "int", 1,
+    "shard worker processes (1 = serial in-process)",
+)
+register(
+    "REPRO_MORSEL_ROWS", "int", 0,
+    "morsel size in rows for morsel-parallel kernels (0 = off; "
+    "positive values clamp up to the 1024-row minimum)",
+)
+
+# Tuning server (python -m repro.server flag fallbacks)
+register("REPRO_SERVER_HOST", "str", "127.0.0.1", "server bind address")
+register("REPRO_SERVER_PORT", "int", 8451, "server TCP port")
+register(
+    "REPRO_SERVER_WORKERS", "int", 2, "tuning-server job worker threads",
+)
+register(
+    "REPRO_SERVER_QUEUE", "int", 8, "tuning-server pending-job bound",
+)
+register(
+    "REPRO_SERVER_MAX_SESSIONS", "int", 8,
+    "tuning-server resident-session cap",
+)
+register(
+    "REPRO_SERVER_SESSION_TTL", "float", 3600.0,
+    "tuning-server idle session expiry in seconds",
+)

@@ -28,6 +28,7 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 
 from .. import obs
+from ..common import knobs
 
 MORSEL_ENV = "REPRO_MORSEL_ROWS"
 
@@ -44,7 +45,7 @@ def morsel_rows(value=None):
     values are clamped up to :data:`MIN_MORSEL_ROWS`.
     """
     if value is None:
-        raw = os.environ.get(MORSEL_ENV, "").strip()
+        raw = knobs.text(MORSEL_ENV, "").strip()
         if not raw:
             return 0
         try:

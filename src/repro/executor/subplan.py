@@ -34,10 +34,10 @@ identity validation makes that a garbage collection, not a correctness
 requirement.
 """
 
-import os
 import threading
 
 from .. import obs
+from ..common import knobs
 
 SUBPLAN_ENV = "REPRO_SUBPLAN_CACHE"
 
@@ -56,10 +56,7 @@ def subplan_cache_enabled(flag=None):
     (case-insensitive) enables it; the default — no environment
     variable at all — is enabled.
     """
-    if flag is not None:
-        return bool(flag)
-    value = os.environ.get(SUBPLAN_ENV, "1").strip().lower()
-    return value not in ("0", "false", "no", "off")
+    return knobs.flag(SUBPLAN_ENV, flag)
 
 
 class SubplanCache:
@@ -140,10 +137,12 @@ class SubplanCache:
         if entry is not None and len(entry[0]) == len(backing) and all(
             cached is live for cached, live in zip(entry[0], backing)
         ):
-            self.stats.hits += 1
+            with self._lock:
+                self.stats.hits += 1
             obs.counter_add(hit_metric)
             return entry[1]
-        self.stats.misses += 1
+        with self._lock:
+            self.stats.misses += 1
         payload = build()
         obs.counter_add(build_metric)
         with self._lock:

@@ -4,9 +4,11 @@ Usage::
 
     python -m repro.lint [paths ...]
     python -m repro.lint src --format json
+    python -m repro.lint src --format sarif > lint.sarif
     python -m repro.lint src --rule RNG001 --rule CLK001
     python -m repro.lint src --baseline lint-baseline.json
     python -m repro.lint src --write-baseline lint-baseline.json
+    python -m repro.lint src --jobs 8 --timings
     python -m repro.lint --list-rules
 
 Exit status: **0** no findings, **1** at least one non-baselined
@@ -41,8 +43,15 @@ def _build_parser():
                         help="subtract grandfathered findings in FILE")
     parser.add_argument("--write-baseline", default=None, metavar="FILE",
                         help="write current findings to FILE and exit 0")
-    parser.add_argument("--format", choices=("text", "json"),
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
                         default="text", help="output format")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker threads for the per-file phase "
+                             "(default: cpu count); output is "
+                             "identical for every value")
+    parser.add_argument("--timings", action="store_true",
+                        help="report per-phase wall clock (text "
+                             "footer / json 'timings' object)")
     parser.add_argument("--list-rules", action="store_true",
                         help="list registered rules and exit")
     return parser
@@ -59,7 +68,8 @@ def main(argv=None):
     paths = args.paths or ["src"]
     try:
         result = run_lint(
-            paths, rules=args.rule, baseline_path=args.baseline
+            paths, rules=args.rule, baseline_path=args.baseline,
+            jobs=args.jobs, timings=args.timings,
         )
     except KeyError as err:
         known = ", ".join(sorted(ALL_RULES))
@@ -77,6 +87,8 @@ def main(argv=None):
 
     if args.format == "json":
         print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+    elif args.format == "sarif":
+        print(json.dumps(result.to_sarif(), indent=2, sort_keys=True))
     else:
         print(result.render_text())
     return 0 if result.ok else 1

@@ -1,0 +1,597 @@
+"""The project-wide call graph: who calls whom, and how.
+
+PR 4's rules are per-file and syntactic; the invariants that matter at
+server scale (lock discipline across ``SessionStore``/``JobQueue``,
+determinism taint through helper modules) are *inter*procedural.  This
+module builds one :class:`CallGraph` per lint run — every function and
+method of every linted file, plus resolved call edges — which the
+project-scope rules (``LCK002``, ``TNT001``) traverse and run their
+dataflow fixpoints over (:mod:`repro.lint.dataflow`).
+
+Resolution is deliberately cheap and explicit about its tiers:
+
+* ``direct``       — ``helper(...)`` to a function of the same module,
+                     or an enclosing ``def`` (the nested-worker idiom);
+* ``import``       — ``mod.helper(...)`` / ``from mod import helper``
+                     across modules, through the per-file alias map;
+* ``self``         — ``self.m(...)`` / ``cls.m(...)`` to a method of
+                     the enclosing class, following single-inheritance
+                     bases that are themselves project classes;
+* ``typed``        — ``self.store.get(...)`` where ``self.store`` (or a
+                     local) has an inferred project class, via
+                     constructor-call type seeding propagated one level
+                     through ``__init__`` parameters;
+* ``unique``       — ``x.m(...)`` where exactly one project class
+                     defines method ``m`` (the classic cheap CHA cut);
+* ``submit``       — the callable handed to an executor
+                     (``pool.submit(self._work)``, ``map_batch(fn)``,
+                     ``Thread(target=fn)``, ``add_done_callback(fn)``);
+                     submit targets are the *entry points* of the
+                     concurrency rules.
+
+Every edge carries an argument-binding map so analyses can translate
+facts (held locks, taint) between caller and callee frames.
+"""
+
+import ast
+
+from .core import dotted_name, import_aliases
+
+SUBMIT_ATTRS = frozenset({"map_batch", "submit", "_map"})
+POOLISH_FRAGMENTS = ("pool", "executor")
+CALLBACK_ATTRS = frozenset({"add_done_callback"})
+THREAD_CALLS = frozenset({"threading.Thread", "Thread"})
+
+#: Methods the HTTP layer runs on per-request server threads; they are
+#: executor entry points exactly like pool-submitted callables.
+HANDLER_METHOD_PREFIX = "do_"
+
+#: Marker type for attributes constructed from a non-project callable
+#: (``self._sessions = OrderedDict()``): their methods are *known* not
+#: to be project methods, which keeps the unique-name fallback from
+#: inventing edges like ``self._sessions.get -> SomeClass.get``.
+EXTERNAL = "<external>"
+
+
+class FunctionInfo:
+    """One function or method of the project, with its owner context."""
+
+    def __init__(self, qualname, module, node, unit, class_name=None,
+                 class_node=None):
+        self.qualname = qualname      #: ``module::Class.method`` key
+        self.module = module          #: dotted module guess from path
+        self.node = node              #: the FunctionDef/Lambda node
+        self.unit = unit              #: owning FileUnit
+        self.class_name = class_name  #: enclosing class, or None
+        self.class_node = class_node
+        self.calls = []               #: outgoing CallSite list
+        self.is_entry = False         #: submitted to an executor?
+        self.entry_kinds = set()      #: why it is an entry
+
+    @property
+    def params(self):
+        args = self.node.args
+        names = [a.arg for a in (*args.posonlyargs, *args.args)]
+        return names
+
+    def __repr__(self):
+        return f"<FunctionInfo {self.qualname}>"
+
+
+class CallSite:
+    """One resolved call edge, with the argument-binding map.
+
+    ``bindings`` maps callee parameter names to caller-side *tokens*:
+    ``"self"`` when the caller passes its own instance, a plain local
+    name, or a dotted ``self.attr`` chain — enough for the dataflow
+    layer to rename facts across the edge.  ``receiver`` is the dotted
+    text of the receiver expression for method calls (``"self.store"``),
+    or ``None``.
+    """
+
+    def __init__(self, caller, callee, node, kind, bindings=None,
+                 receiver=None):
+        self.caller = caller
+        self.callee = callee          #: callee qualname
+        self.node = node              #: the ast.Call
+        self.kind = kind
+        self.bindings = bindings or {}
+        self.receiver = receiver
+
+    def __repr__(self):
+        return (
+            f"<CallSite {self.caller.qualname} -> {self.callee} "
+            f"[{self.kind}]>"
+        )
+
+
+def module_name(unit):
+    """Dotted module guess from a unit's path (``src/repro/a/b.py`` →
+    ``repro.a.b``); falls back to the stem for paths outside a package.
+    """
+    parts = unit.posix.rsplit(".", 1)[0].split("/")
+    for anchor in ("repro",):
+        if anchor in parts:
+            parts = parts[parts.index(anchor):]
+            break
+    else:
+        parts = parts[-1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _annotate_parents(tree):
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child._lint_parent = node
+
+
+def _enclosing(node, kinds):
+    node = getattr(node, "_lint_parent", None)
+    while node is not None:
+        if isinstance(node, kinds):
+            return node
+        node = getattr(node, "_lint_parent", None)
+    return None
+
+
+def _call_token(arg):
+    """The binding token of one call argument (None when opaque)."""
+    if isinstance(arg, ast.Name):
+        return arg.id
+    name = dotted_name(arg)
+    return name
+
+
+class CallGraph:
+    """Functions, methods, call edges and executor entries of a project."""
+
+    def __init__(self, units):
+        self.functions = {}       #: qualname -> FunctionInfo
+        self.classes = {}         #: class name -> [(unit, ClassDef)]
+        self.methods_by_name = {} #: method name -> [qualname]
+        self._module_funcs = {}   #: (module, name) -> qualname
+        self._class_methods = {}  #: (module, Class) -> {name: qualname}
+        self._class_bases = {}    #: (module, Class) -> [base names]
+        self._attr_types = {}     #: (module, Class, attr) -> class name
+        self._index(units)
+        self._infer_attribute_types()
+        for info in list(self.functions.values()):
+            self._resolve_calls(info)
+        self._mark_entries()
+
+    # ------------------------------------------------------------------
+    # Indexing
+
+    def _index(self, units):
+        for unit in units:
+            _annotate_parents(unit.tree)
+            module = module_name(unit)
+            for node in ast.walk(unit.tree):
+                if isinstance(node, ast.ClassDef):
+                    self.classes.setdefault(node.name, []).append(
+                        (unit, node)
+                    )
+                    bases = [
+                        dotted_name(base) for base in node.bases
+                    ]
+                    self._class_bases[(module, node.name)] = [
+                        b for b in bases if b
+                    ]
+                elif isinstance(node, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                    cls = _enclosing(node, ast.ClassDef)
+                    enclosing_fn = _enclosing(
+                        node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    )
+                    if cls is not None and enclosing_fn is None:
+                        qual = f"{module}::{cls.name}.{node.name}"
+                        info = FunctionInfo(
+                            qual, module, node, unit, cls.name, cls
+                        )
+                        self._class_methods.setdefault(
+                            (module, cls.name), {}
+                        )[node.name] = qual
+                        self.methods_by_name.setdefault(
+                            node.name, []
+                        ).append(qual)
+                    elif enclosing_fn is None:
+                        qual = f"{module}::{node.name}"
+                        info = FunctionInfo(qual, module, node, unit)
+                        self._module_funcs[(module, node.name)] = qual
+                    else:
+                        # Nested def: addressed relative to its parent.
+                        qual = (
+                            f"{module}::"
+                            f"{getattr(enclosing_fn, 'name', '<fn>')}"
+                            f".<{node.name}>"
+                        )
+                        info = FunctionInfo(qual, module, node, unit)
+                    self.functions[qual] = info
+
+    def _class_qual(self, module, class_name):
+        return (module, class_name)
+
+    def _lookup_method(self, module, class_name, method, seen=None):
+        """Resolve ``method`` on ``class_name``, following project bases."""
+        seen = seen or set()
+        key = (module, class_name)
+        if key in seen:
+            return None
+        seen.add(key)
+        methods = self._class_methods.get(key)
+        if methods and method in methods:
+            return methods[method]
+        for base in self._class_bases.get(key, ()):  # e.g. BenchContext
+            base_name = base.split(".")[-1]
+            for unit, node in self.classes.get(base_name, ()):
+                base_module = module_name(unit)
+                found = self._lookup_method(
+                    base_module, base_name, method, seen
+                )
+                if found:
+                    return found
+        return None
+
+    # ------------------------------------------------------------------
+    # Attribute/local type inference (constructor-call seeding)
+
+    def _expr_class(self, expr, aliases):
+        """The project class an expression constructs, or None."""
+        if not isinstance(expr, ast.Call):
+            return None
+        name = dotted_name(expr.func)
+        if name is None:
+            return None
+        resolved = aliases.get(name, name)
+        tail = resolved.split(".")[-1]
+        return tail if tail in self.classes else None
+
+    def _infer_attribute_types(self):
+        """``self.x = Cls(...)`` (or ``= param`` whose every
+        construction-site argument is a known class) seeds attr types."""
+        ctor_params = {}   # (module, Class, param) -> set of classes
+        for info in self.functions.values():
+            if info.class_name is None or info.node.name != "__init__":
+                continue
+            aliases = info.unit.aliases
+            params = info.params
+            for stmt in ast.walk(info.node):
+                if not isinstance(stmt, ast.Assign):
+                    continue
+                for target in stmt.targets:
+                    if not (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"):
+                        continue
+                    cls = self._expr_class(stmt.value, aliases)
+                    if cls is not None:
+                        self._attr_types[
+                            (info.module, info.class_name, target.attr)
+                        ] = cls
+                    elif isinstance(stmt.value, ast.Call):
+                        self._attr_types.setdefault(
+                            (info.module, info.class_name, target.attr),
+                            EXTERNAL,
+                        )
+                    elif isinstance(stmt.value, ast.Name) \
+                            and stmt.value.id in params:
+                        ctor_params.setdefault(
+                            (info.module, info.class_name,
+                             stmt.value.id),
+                            target.attr,
+                        )
+        if not ctor_params:
+            return
+        # One propagation level: find construction sites of each class
+        # and, when the argument bound to a recorded __init__ param is
+        # itself a recognizable construction, type the attribute.
+        seeded = {}
+        for info in self.functions.values():
+            aliases = info.unit.aliases
+            local_types = _local_constructions(info.node, self, aliases)
+            for call in ast.walk(info.node):
+                if not isinstance(call, ast.Call):
+                    continue
+                cls = self._expr_class(call, aliases)
+                if cls is None:
+                    continue
+                init = self._find_init(cls)
+                if init is None:
+                    continue
+                params = [p for p in init.params if p != "self"]
+                for position, arg in enumerate(call.args):
+                    if position >= len(params):
+                        break
+                    key = (init.module, cls, params[position])
+                    attr = ctor_params.get(key)
+                    if attr is None:
+                        continue
+                    arg_cls = self._expr_class(arg, aliases)
+                    if arg_cls is None and isinstance(arg, ast.Name):
+                        arg_cls = local_types.get(arg.id)
+                    if arg_cls is None and isinstance(arg, ast.Attribute):
+                        chain = dotted_name(arg)
+                        if chain and chain.startswith("self.") \
+                                and info.class_name:
+                            arg_cls = self._attr_types.get(
+                                (info.module, info.class_name,
+                                 chain.split(".", 2)[1])
+                            )
+                    if arg_cls is not None:
+                        seeded[(init.module, cls, attr)] = arg_cls
+                for keyword in call.keywords:
+                    if keyword.arg is None:
+                        continue
+                    key = (init.module, cls, keyword.arg)
+                    attr = ctor_params.get(key)
+                    if attr is None:
+                        continue
+                    arg_cls = self._expr_class(keyword.value, aliases)
+                    if arg_cls is None \
+                            and isinstance(keyword.value, ast.Name):
+                        arg_cls = local_types.get(keyword.value.id)
+                    if arg_cls is not None:
+                        seeded[(init.module, cls, attr)] = arg_cls
+        for key, cls in seeded.items():
+            self._attr_types.setdefault(key, cls)
+
+    def _find_init(self, class_name):
+        for unit, node in self.classes.get(class_name, ()):
+            qual = self._class_methods.get(
+                (module_name(unit), class_name), {}
+            ).get("__init__")
+            if qual:
+                return self.functions[qual]
+        return None
+
+    def attribute_type(self, module, class_name, attr):
+        """The inferred project class of ``self.<attr>``, or None."""
+        return self._attr_types.get((module, class_name, attr))
+
+    # ------------------------------------------------------------------
+    # Call resolution
+
+    def _resolve_calls(self, info):
+        aliases = info.unit.aliases
+        module = info.module
+        local_types = _local_constructions(info.node, self, aliases)
+        for call in ast.walk(info.node):
+            if not isinstance(call, ast.Call):
+                continue
+            func = call.func
+            callee = None
+            kind = None
+            receiver = None
+            if isinstance(func, ast.Name):
+                resolved = aliases.get(func.id)
+                if resolved and "." in resolved:
+                    mod, _, name = resolved.rpartition(".")
+                    callee = self._module_funcs.get((mod, name))
+                    kind = "import"
+                if callee is None:
+                    callee = self._module_funcs.get((module, func.id))
+                    kind = "direct"
+                if callee is None:
+                    callee = self._nested_callee(info, func.id)
+                    kind = "direct"
+            elif isinstance(func, ast.Attribute):
+                receiver = dotted_name(func.value)
+                if isinstance(func.value, ast.Name) \
+                        and func.value.id in ("self", "cls") \
+                        and info.class_name:
+                    callee = self._lookup_method(
+                        module, info.class_name, func.attr
+                    )
+                    kind = "self"
+                if callee is None and receiver:
+                    root = receiver.split(".")[0]
+                    resolved_root = aliases.get(root)
+                    if resolved_root and "." not in receiver:
+                        # ``mod.helper(...)`` via ``import mod``
+                        callee = self._module_funcs.get(
+                            (resolved_root, func.attr)
+                        )
+                        kind = "import"
+                if callee is None:
+                    callee, kind = self._typed_or_unique(
+                        info, func, receiver, local_types
+                    )
+            if callee is None:
+                continue
+            bindings = self._bind_arguments(info, call, callee)
+            info.calls.append(CallSite(
+                info, callee, call, kind, bindings, receiver
+            ))
+
+    def _nested_callee(self, info, name):
+        for stmt in ast.walk(info.node):
+            if isinstance(stmt, ast.FunctionDef) and stmt.name == name:
+                qual = (
+                    f"{info.module}::{info.node.name}.<{name}>"
+                    if hasattr(info.node, "name") else None
+                )
+                if qual in self.functions:
+                    return qual
+        return None
+
+    def _typed_or_unique(self, info, func, receiver, local_types):
+        """Tier 4/5: typed receiver, then unique method name."""
+        target_class = None
+        if receiver:
+            parts = receiver.split(".")
+            if parts[0] in ("self", "cls") and len(parts) == 2 \
+                    and info.class_name:
+                target_class = self.attribute_type(
+                    info.module, info.class_name, parts[1]
+                )
+            elif len(parts) == 1:
+                target_class = local_types.get(parts[0])
+        if target_class == EXTERNAL:
+            return None, None
+        if target_class is not None:
+            for unit, node in self.classes.get(target_class, ()):
+                callee = self._lookup_method(
+                    module_name(unit), target_class, func.attr
+                )
+                if callee:
+                    return callee, "typed"
+        candidates = self.methods_by_name.get(func.attr, ())
+        if len(candidates) == 1:
+            return candidates[0], "unique"
+        return None, None
+
+    def _bind_arguments(self, info, call, callee_qual):
+        callee = self.functions.get(callee_qual)
+        if callee is None:
+            return {}
+        params = callee.params
+        offset = 1 if callee.class_name is not None \
+            and params and params[0] in ("self", "cls") else 0
+        bindings = {}
+        if offset and isinstance(call.func, ast.Attribute):
+            receiver = dotted_name(call.func.value)
+            if receiver:
+                bindings[params[0]] = receiver
+        for position, arg in enumerate(call.args):
+            index = position + offset
+            if index >= len(params):
+                break
+            token = _call_token(arg)
+            if token:
+                bindings[params[index]] = token
+        for keyword in call.keywords:
+            if keyword.arg and keyword.arg in params:
+                token = _call_token(keyword.value)
+                if token:
+                    bindings[keyword.arg] = token
+        return bindings
+
+    # ------------------------------------------------------------------
+    # Executor entries
+
+    def _mark_entries(self):
+        for info in list(self.functions.values()):
+            if info.class_name and \
+                    info.node.name.startswith(HANDLER_METHOD_PREFIX):
+                info.is_entry = True
+                info.entry_kinds.add("handler")
+            for call in ast.walk(info.node):
+                if not isinstance(call, ast.Call):
+                    continue
+                target = self._submitted_target(info, call)
+                if target is None:
+                    continue
+                entry = self.functions.get(target)
+                if entry is not None:
+                    entry.is_entry = True
+                    entry.entry_kinds.add("submit")
+                    info.calls.append(CallSite(
+                        info, target, call, "submit",
+                        self._submit_bindings(info, call, entry),
+                    ))
+
+    def _submitted_target(self, info, call):
+        """The qualname of a callable handed to an executor, if any."""
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            name = dotted_name(func)
+            if name is not None and \
+                    info.unit.aliases.get(name, name) in THREAD_CALLS:
+                for keyword in call.keywords:
+                    if keyword.arg == "target":
+                        return self._callable_qual(info, keyword.value)
+            return None
+        is_submit = func.attr in SUBMIT_ATTRS or \
+            func.attr in CALLBACK_ATTRS
+        if not is_submit and func.attr == "map":
+            receiver = (dotted_name(func.value) or "").lower()
+            is_submit = any(
+                f in receiver for f in POOLISH_FRAGMENTS
+            )
+        if not is_submit or not call.args:
+            return None
+        return self._callable_qual(info, call.args[0])
+
+    def _callable_qual(self, info, arg):
+        if isinstance(arg, ast.Lambda):
+            # Lambdas are modelled as part of the submitting function:
+            # their body executes with the caller's locals in scope.
+            return None
+        if isinstance(arg, ast.Attribute) \
+                and isinstance(arg.value, ast.Name):
+            if arg.value.id in ("self", "cls") and info.class_name:
+                return self._lookup_method(
+                    info.module, info.class_name, arg.attr
+                )
+            # Bound method on a typed local: ``job = Job()`` then
+            # ``pool.submit(job.run)``.
+            local_types = _local_constructions(
+                info.node, self, info.unit.aliases
+            )
+            target_class = local_types.get(arg.value.id)
+            if target_class and target_class != EXTERNAL:
+                return self._lookup_method(
+                    info.module, target_class, arg.attr
+                )
+        if isinstance(arg, ast.Name):
+            qual = self._module_funcs.get((info.module, arg.id))
+            if qual:
+                return qual
+            return self._nested_callee(info, arg.id)
+        return None
+
+    def _submit_bindings(self, info, call, entry):
+        params = entry.params
+        if entry.class_name and params and params[0] in ("self", "cls"):
+            receiver = None
+            if isinstance(call.args[0], ast.Attribute):
+                receiver = dotted_name(call.args[0].value)
+            return {params[0]: receiver or "self"}
+        return {}
+
+    # ------------------------------------------------------------------
+    # Queries
+
+    def entries(self):
+        """Every executor entry point (submitted or handler method)."""
+        return [f for f in self.functions.values() if f.is_entry]
+
+    def callers_of(self, qualname):
+        """Every CallSite whose callee is ``qualname``."""
+        sites = []
+        for info in self.functions.values():
+            for site in info.calls:
+                if site.callee == qualname:
+                    sites.append(site)
+        return sites
+
+    def reachable_from_entries(self):
+        """Qualnames reachable from any entry (entries included)."""
+        seen = set()
+        frontier = [f.qualname for f in self.entries()]
+        while frontier:
+            qual = frontier.pop()
+            if qual in seen:
+                continue
+            seen.add(qual)
+            info = self.functions.get(qual)
+            if info is None:
+                continue
+            for site in info.calls:
+                if site.callee not in seen:
+                    frontier.append(site.callee)
+        return seen
+
+
+def _local_constructions(fn, graph, aliases):
+    """Map of local name -> project class constructed into it."""
+    types = {}
+    for stmt in ast.walk(fn):
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name):
+            cls = graph._expr_class(stmt.value, aliases)
+            if cls is not None:
+                types[stmt.targets[0].id] = cls
+    return types

@@ -104,10 +104,26 @@ class FileUnit:
 
 
 class Project:
-    """All file units of one lint run, for cross-file passes."""
+    """All file units of one lint run, for cross-file passes.
 
-    def __init__(self, units):
+    ``root`` is the directory lint paths were resolved against; rules
+    that cross-reference non-linted files (``KNB001`` reads
+    ``docs/cli.md`` and ``tests/``) resolve them relative to it.
+    """
+
+    def __init__(self, units, root=None):
         self.units = list(units)
+        self.root = root
+        self._call_graph = None
+
+    @property
+    def call_graph(self):
+        """The project :class:`~repro.lint.callgraph.CallGraph` (built
+        once per run, shared by every project-scope rule)."""
+        if self._call_graph is None:
+            from .callgraph import CallGraph
+            self._call_graph = CallGraph(self.units)
+        return self._call_graph
 
     def units_defining_function(self, name):
         """Units with a module-level ``def name`` (with the node)."""

@@ -9,9 +9,12 @@ subclass and listing an instance here; the CLI, the docs catalog
 from .clock import ClockRule
 from .exceptions import ExceptionRule
 from .invalidation import InvalidationRule
+from .knobs import KnobRule
 from .locks import LockRule
+from .races import RaceRule
 from .rng import RngRule
 from .schema_sync import SchemaSyncRule
+from .taint import TaintRule
 
 ALL_RULES = {
     rule.name: rule
@@ -22,6 +25,9 @@ ALL_RULES = {
         LockRule(),
         SchemaSyncRule(),
         ExceptionRule(),
+        RaceRule(),
+        TaintRule(),
+        KnobRule(),
     )
 }
 
@@ -30,7 +36,10 @@ __all__ = [
     "ClockRule",
     "ExceptionRule",
     "InvalidationRule",
+    "KnobRule",
     "LockRule",
+    "RaceRule",
     "RngRule",
     "SchemaSyncRule",
+    "TaintRule",
 ]

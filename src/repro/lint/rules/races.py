@@ -1,0 +1,347 @@
+"""LCK002 — interprocedural lockset race detection.
+
+``LCK001`` is syntactic: it looks at the body of a pool-submitted
+callable and wants writes wrapped in ``with <lock>:`` *textually*.
+That misses the two shapes the server code actually uses:
+
+* **caller holds the lock** — ``_evict_lru`` writes shared maps with no
+  ``with`` in sight, because every caller acquires ``self._lock``
+  first; LCK001 cannot credit that, LCK002 can (the interprocedural
+  fixpoint propagates held locksets across call edges);
+* **helper escape** — a method runs both under the lock (from one call
+  site) and outside it (from a handler thread); the *intersection*
+  over reaching paths is empty, so its shared writes are races even
+  though some executions are guarded.
+
+Mechanically, per lint run:
+
+1. every class that *owns a lock* (an ``__init__`` attribute built from
+   ``threading.Lock/RLock/Condition``, or any attribute whose name
+   contains ``lock``) opts into lockset discipline — classes without
+   locks are assumed thread-confined and stay out of scope;
+2. the call graph's executor entries (pool-submitted callables,
+   ``Thread(target=...)``, ``add_done_callback`` hooks, ``do_*`` HTTP
+   handler methods) seed a fixpoint that computes, for every reachable
+   function, the set of locks held on **all** paths into it
+   (:class:`~repro.lint.dataflow.LocksetAnalysis` per body,
+   intersection across call sites, lock tokens translated through each
+   edge's argument bindings);
+3. inside reachable methods of lock-owning classes, every write to
+   shared state — ``self.<attr>``, or a local aliased from ``self``
+   state (``session = self._sessions[sid]; session.hits += 1``) — must
+   have at least one of the owning class's locks in its must-held
+   lockset.
+
+Lock tokens are class-scoped (``SessionStore._lock``): the server holds
+exactly one store/queue instance, so class identity approximates object
+identity; module-level locks are module-scoped, and parameter locks are
+frame-scoped and renamed across edges via the binding maps.
+``__init__`` is exempt (the instance is not yet shared while it runs).
+"""
+
+import ast
+
+from ..core import Rule, dotted_name
+from ..dataflow import LocksetAnalysis, build_cfg
+from ..callgraph import module_name
+
+#: Constructors whose result is a synchronization object.
+LOCK_FACTORIES = frozenset({
+    "threading.Lock", "threading.RLock", "threading.Condition",
+    "threading.Semaphore", "threading.BoundedSemaphore",
+    "Lock", "RLock", "Condition",
+})
+
+#: The fixpoint is monotone (locksets only shrink), so this bound is a
+#: backstop, not a tuning knob.
+MAX_PASSES = 20
+
+
+def _is_lock_value(expr, aliases):
+    """Whether an assigned value constructs a synchronization object."""
+    if not isinstance(expr, ast.Call):
+        return False
+    name = dotted_name(expr.func)
+    if name is None:
+        return False
+    return aliases.get(name, name) in LOCK_FACTORIES or \
+        name in LOCK_FACTORIES
+
+
+def _lockish_name(name):
+    """Name-based lock heuristic; ``clock`` is famously not a lock."""
+    lowered = name.lower()
+    return "lock" in lowered and "clock" not in lowered
+
+
+def _chain_mentions_local(name):
+    return "local" in name.lower() and "lock" not in name.lower()
+
+
+class RaceRule(Rule):
+    name = "LCK002"
+    description = (
+        "shared attributes of lock-owning classes reached from executor "
+        "entries must be written with a class lock held on every path"
+    )
+    scope = "project"
+
+    def check_project(self, project):
+        graph = project.call_graph
+        lock_attrs = self._lock_attributes(graph)
+        if not lock_attrs:
+            return
+        entry_locks = self._interprocedural_locksets(graph, lock_attrs)
+        reachable = graph.reachable_from_entries()
+        findings = []
+        for qual in sorted(reachable):
+            info = graph.functions.get(qual)
+            if info is None or info.class_name is None:
+                continue
+            if info.node.name == "__init__":
+                continue
+            class_key = (info.module, info.class_name)
+            tokens = self._class_tokens(graph, info, lock_attrs)
+            if not tokens:
+                continue
+            findings.extend(self._check_function(
+                graph, info, lock_attrs,
+                entry_locks.get(qual, frozenset()), tokens,
+            ))
+        seen = set()
+        for finding in sorted(findings):
+            if finding not in seen:
+                seen.add(finding)
+                yield finding
+
+    # ------------------------------------------------------------------
+    # Lock discovery
+
+    def _lock_attributes(self, graph):
+        """``(module, Class) -> {attr}`` for classes that own locks."""
+        lock_attrs = {}
+        for info in graph.functions.values():
+            if info.class_name is None or info.node.name != "__init__":
+                continue
+            aliases = info.unit.aliases
+            attrs = set()
+            for stmt in ast.walk(info.node):
+                if not isinstance(stmt, ast.Assign):
+                    continue
+                for target in stmt.targets:
+                    if isinstance(target, ast.Attribute) \
+                            and isinstance(target.value, ast.Name) \
+                            and target.value.id == "self":
+                        if _is_lock_value(stmt.value, aliases) \
+                                or _lockish_name(target.attr):
+                            attrs.add(target.attr)
+            if attrs:
+                lock_attrs[(info.module, info.class_name)] = attrs
+        return lock_attrs
+
+    def _class_tokens(self, graph, info, lock_attrs):
+        """The lock tokens that guard ``info``'s class (incl. bases)."""
+        tokens = set()
+        frontier = [(info.module, info.class_name)]
+        seen = set()
+        while frontier:
+            key = frontier.pop()
+            if key in seen:
+                continue
+            seen.add(key)
+            for attr in lock_attrs.get(key, ()):
+                tokens.add(f"{key[1]}.{attr}")
+            for base in graph._class_bases.get(key, ()):
+                base_name = base.split(".")[-1]
+                for unit, _node in graph.classes.get(base_name, ()):
+                    frontier.append((module_name(unit), base_name))
+        return frozenset(tokens)
+
+    def _lock_token(self, expr, info):
+        """The global token of a ``with``-item lock expression."""
+        if isinstance(expr, ast.Call):
+            # ``with threading.Lock():`` guards nothing shared.
+            return None
+        name = dotted_name(expr)
+        if name is None or not _lockish_name(name):
+            return None
+        parts = name.split(".")
+        if parts[0] in ("self", "cls") and len(parts) >= 2 \
+                and info.class_name:
+            return f"{info.class_name}.{parts[1]}"
+        if len(parts) == 1:
+            # A bare name: module-level lock if the module assigns it,
+            # otherwise a frame-local (parameter) lock.
+            for stmt in info.unit.tree.body:
+                if isinstance(stmt, ast.Assign) and any(
+                    isinstance(t, ast.Name) and t.id == parts[0]
+                    for t in stmt.targets
+                ):
+                    return f"{info.module}.{parts[0]}"
+            return f"{info.qualname}::{parts[0]}"
+        return f"{info.module}.{name}"
+
+    # ------------------------------------------------------------------
+    # Interprocedural fixpoint
+
+    def _run_lockset(self, info, entry):
+        cfg = build_cfg(
+            info.node, lambda expr: self._lock_token(expr, info)
+        )
+        analysis = LocksetAnalysis(entry_locks=entry)
+        analysis.run(cfg)
+        return analysis
+
+    def _translate(self, tokens, site, callee_info):
+        """Rename caller-held tokens into the callee's frame.
+
+        Class- and module-scoped tokens are global and pass through
+        unchanged; frame-scoped tokens survive only when the edge's
+        binding map carries the lock into a callee parameter.
+        """
+        out = set()
+        for token in tokens:
+            if "::" not in token:
+                out.add(token)
+                continue
+            local = token.split("::", 1)[1]
+            for param, bound in site.bindings.items():
+                if bound == local:
+                    out.add(f"{callee_info.qualname}::{param}")
+        return frozenset(out)
+
+    def _interprocedural_locksets(self, graph, lock_attrs):
+        """``qualname -> locks held on every path from every entry``."""
+        entry_locks = {}
+        for info in graph.entries():
+            entry_locks[info.qualname] = frozenset()
+        worklist = sorted(entry_locks)
+        passes = 0
+        analyses = {}
+        while worklist and passes < MAX_PASSES * len(graph.functions):
+            passes += 1
+            qual = worklist.pop()
+            info = graph.functions.get(qual)
+            if info is None:
+                continue
+            analysis = self._run_lockset(info, entry_locks[qual])
+            analyses[qual] = analysis
+            held_at = {}
+            for op, state in analysis.before.items():
+                held_at[id(op.node)] = state
+            for site in info.calls:
+                callee = graph.functions.get(site.callee)
+                if callee is None:
+                    continue
+                held = self._locks_at_call(analysis, site)
+                incoming = self._translate(held, site, callee)
+                current = entry_locks.get(site.callee)
+                merged = incoming if current is None \
+                    else current & incoming
+                if merged != current:
+                    entry_locks[site.callee] = merged
+                    if site.callee not in worklist:
+                        worklist.append(site.callee)
+        return entry_locks
+
+    def _locks_at_call(self, analysis, site):
+        """Must-held lockset at a call site's statement.
+
+        Only ``stmt``/``test`` operations are candidates: an
+        ``acquire`` op's node is the whole ``with`` statement, whose
+        subtree contains every call of the body — matching it would
+        read the state from *before* the acquire.
+        """
+        target = site.node
+        for op, state in analysis.before.items():
+            if op.kind not in ("stmt", "test"):
+                continue
+            for sub in ast.walk(op.node):
+                if sub is target:
+                    return frozenset() if state is None else state
+        return frozenset()
+
+    # ------------------------------------------------------------------
+    # Write checking
+
+    def _shared_aliases(self, fn):
+        """Locals aliased from ``self`` state (shared, not private)."""
+        shared = set()
+        for _ in range(2):   # one re-pass catches alias-of-alias
+            for stmt in ast.walk(fn):
+                if not (isinstance(stmt, ast.Assign)
+                        and len(stmt.targets) == 1
+                        and isinstance(stmt.targets[0], ast.Name)):
+                    continue
+                value = stmt.value
+                while isinstance(value, (ast.Subscript, ast.Attribute,
+                                         ast.Call)):
+                    value = value.func if isinstance(value, ast.Call) \
+                        else value.value
+                if isinstance(value, ast.Name) and (
+                        value.id == "self" or value.id in shared):
+                    shared.add(stmt.targets[0].id)
+        return shared
+
+    def _check_function(self, graph, info, lock_attrs, entry, tokens):
+        analysis = self._run_lockset(info, entry)
+        class_key = (info.module, info.class_name)
+        own_locks = set()
+        for attr in lock_attrs.get(class_key, ()):
+            own_locks.add(attr)
+        shared_locals = self._shared_aliases(info.node)
+        for op, state in analysis.before.items():
+            if op.kind != "stmt":
+                continue
+            held = frozenset() if state is None else state
+            for target, name in self._write_targets(op.node):
+                base = name.split(".")[0]
+                if base in ("self", "cls"):
+                    attr = name.split(".")[1] if "." in name else ""
+                    if attr in own_locks:
+                        continue
+                elif base not in shared_locals:
+                    continue
+                if _chain_mentions_local(name):
+                    continue
+                if held & tokens:
+                    continue
+                lock_list = ", ".join(sorted(tokens))
+                yield info.unit.finding(
+                    self.name, op.node,
+                    f"write to shared attribute {name!r} in "
+                    f"{info.class_name}.{info.node.name} is reachable "
+                    f"from an executor entry without holding "
+                    f"{lock_list} on every path; acquire the lock or "
+                    f"make the caller hold it",
+                )
+
+    def _write_targets(self, stmt):
+        """``(target-node, dotted-name)`` attribute writes of one stmt."""
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            targets = [stmt.target]
+        else:
+            return
+        for target in targets:
+            if isinstance(target, ast.Tuple):
+                continue
+            node = target
+            parts = []
+            while isinstance(node, (ast.Attribute, ast.Subscript)):
+                if isinstance(node, ast.Attribute):
+                    parts.append(node.attr)
+                node = node.value
+            if not isinstance(node, ast.Name):
+                continue
+            if not parts and not isinstance(target, ast.Subscript):
+                continue   # plain local rebind, not shared state
+            parts.append(node.id)
+            name = ".".join(reversed(parts))
+            if isinstance(target, ast.Subscript) and "." not in name \
+                    and node.id not in ("self", "cls"):
+                # ``local[k] = v`` where local is a shared alias is a
+                # shared write; anything else is local mutation.
+                name = node.id
+            yield target, name

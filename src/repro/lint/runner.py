@@ -8,12 +8,22 @@ everything the CLI (and the tests) need — surviving findings, the
 suppressed/baselined/stale counts, and per-file parse errors (reported
 as ``PARSE`` findings so a syntactically-broken file fails the run
 instead of silently skipping its rules).
+
+The per-file phase (parse + file-scope rules + suppression scan) is
+embarrassingly parallel and runs on a thread pool (``jobs``; default
+``os.cpu_count()``).  Files are processed shared-nothing and results
+are collected in submission order, then globally sorted — the output
+is byte-identical for every ``jobs`` value.  Wall-clock per phase is
+recorded via :func:`repro.obs.perf_seconds` and exposed when
+``timings=True`` (the CLI's ``--timings``).
 """
 
 import ast
 import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+from ..obs import perf_seconds
 from .baseline import apply_baseline, load_baseline
 from .core import FileUnit, Finding, Project
 from .rules import ALL_RULES
@@ -42,6 +52,27 @@ LINT_REPORT_SCHEMA = {
                 "baselined": {"type": "integer", "minimum": 0},
                 "stale_baseline_entries": {
                     "type": "integer", "minimum": 0,
+                },
+            },
+            "additionalProperties": False,
+        },
+        "timings": {
+            # Present only when the run was asked to time itself
+            # (``--timings``): wall seconds per phase plus the worker
+            # count.  Values vary run to run by construction, so they
+            # are excluded from byte-stability comparisons.
+            "type": "object",
+            "required": ["total_s", "files_s", "project_s", "jobs"],
+            "properties": {
+                "total_s": {"type": "number", "minimum": 0},
+                "files_s": {"type": "number", "minimum": 0},
+                "project_s": {"type": "number", "minimum": 0},
+                "jobs": {"type": "integer", "minimum": 1},
+                "per_project_rule_s": {
+                    "type": "object",
+                    "additionalProperties": {
+                        "type": "number", "minimum": 0,
+                    },
                 },
             },
             "additionalProperties": False,
@@ -76,6 +107,7 @@ class LintResult:
     suppressed: int = 0
     baselined: int = 0
     stale_baseline_entries: int = 0
+    timings: dict = None
 
     @property
     def ok(self):
@@ -83,7 +115,7 @@ class LintResult:
 
     def to_json(self):
         """The ``--format json`` document (schema ``repro.lint/v1``)."""
-        return {
+        document = {
             "schema": LINT_REPORT_SCHEMA_ID,
             "summary": {
                 "files": self.files,
@@ -94,6 +126,57 @@ class LintResult:
                 "stale_baseline_entries": self.stale_baseline_entries,
             },
             "findings": [f.to_json() for f in self.findings],
+        }
+        if self.timings is not None:
+            document["timings"] = self.timings
+        return document
+
+    def to_sarif(self):
+        """The ``--format sarif`` document (SARIF 2.1.0).
+
+        One run, one driver; every selected rule is listed so viewers
+        can show descriptions even for rules with zero results.
+        """
+        rule_ids = sorted(set(self.rules) | {
+            f.rule for f in self.findings
+        })
+        sarif_rules = []
+        for rule_id in rule_ids:
+            rule = ALL_RULES.get(rule_id)
+            entry = {"id": rule_id}
+            if rule is not None:
+                entry["shortDescription"] = {"text": rule.description}
+            sarif_rules.append(entry)
+        results = []
+        for finding in self.findings:
+            results.append({
+                "ruleId": finding.rule,
+                "level": "error",
+                "message": {"text": finding.message},
+                "locations": [{
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                        },
+                    },
+                }],
+            })
+        return {
+            "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+            "version": "2.1.0",
+            "runs": [{
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri":
+                            "docs/static-analysis.md",
+                        "rules": sarif_rules,
+                    },
+                },
+                "results": results,
+            }],
         }
 
     def render_text(self):
@@ -114,6 +197,21 @@ class LintResult:
         if extras:
             tail += " (" + ", ".join(extras) + ")"
         lines.append(tail)
+        if self.timings is not None:
+            per_rule = ", ".join(
+                f"{name} {secs:.3f}s" for name, secs in sorted(
+                    self.timings.get("per_project_rule_s", {}).items()
+                )
+            )
+            line = (
+                f"timing: total {self.timings['total_s']:.3f}s, "
+                f"files {self.timings['files_s']:.3f}s, "
+                f"project {self.timings['project_s']:.3f}s "
+                f"({self.timings['jobs']} job(s))"
+            )
+            if per_rule:
+                line += f" [{per_rule}]"
+            lines.append(line)
         return "\n".join(lines)
 
 
@@ -135,7 +233,36 @@ def collect_files(paths):
     return files
 
 
-def run_lint(paths, rules=None, baseline_path=None, root=None):
+def _lint_one_file(file_path, root, file_rules):
+    """Parse and file-rule one file (runs on the worker pool).
+
+    Returns ``(unit_or_None, findings, suppressions_or_None)`` —
+    shared-nothing, so any number of these can run concurrently.
+    """
+    rel = os.path.relpath(file_path, root)
+    try:
+        with open(file_path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        tree = ast.parse(source, filename=file_path)
+    except (OSError, SyntaxError, ValueError) as err:
+        finding = Finding(
+            path=rel.replace("\\", "/"),
+            line=getattr(err, "lineno", None) or 1,
+            col=1,
+            rule=PARSE_RULE,
+            message=f"file cannot be linted: {err}",
+        )
+        return None, [finding], None
+    unit = FileUnit(file_path, rel, source, tree)
+    filters = parse_suppressions(source, tree)
+    findings = []
+    for rule in file_rules:
+        findings.extend(rule.check_file(unit))
+    return unit, findings, filters
+
+
+def run_lint(paths, rules=None, baseline_path=None, root=None,
+             jobs=None, timings=False):
     """Run the linter; returns a :class:`LintResult`.
 
     Args:
@@ -144,51 +271,65 @@ def run_lint(paths, rules=None, baseline_path=None, root=None):
         baseline_path: optional baseline file to subtract.
         root: directory findings are reported relative to (default:
             the current working directory).
+        jobs: worker threads for the per-file phase (default:
+            ``os.cpu_count()``); findings are globally sorted, so the
+            output does not depend on this.
+        timings: record per-phase wall clock in ``result.timings``.
 
     Raises:
         KeyError: an unknown rule id in ``rules``.
         OSError / ValueError: unreadable or malformed baseline.
     """
+    started = perf_seconds()
     selected = list(ALL_RULES) if rules is None else list(rules)
     for rule_id in selected:
         if rule_id not in ALL_RULES:
             raise KeyError(rule_id)
     root = os.getcwd() if root is None else root
-
-    units = []
-    findings = []
-    suppressions = {}
-    for file_path in collect_files(paths):
-        rel = os.path.relpath(file_path, root)
-        try:
-            with open(file_path, "r", encoding="utf-8") as handle:
-                source = handle.read()
-            tree = ast.parse(source, filename=file_path)
-        except (OSError, SyntaxError, ValueError) as err:
-            findings.append(Finding(
-                path=rel.replace("\\", "/"),
-                line=getattr(err, "lineno", None) or 1,
-                col=1,
-                rule=PARSE_RULE,
-                message=f"file cannot be linted: {err}",
-            ))
-            continue
-        unit = FileUnit(file_path, rel, source, tree)
-        suppressions[unit.posix] = parse_suppressions(source)
-        units.append(unit)
-
     file_rules = [
         ALL_RULES[r] for r in selected if ALL_RULES[r].scope == "file"
     ]
     project_rules = [
         ALL_RULES[r] for r in selected if ALL_RULES[r].scope == "project"
     ]
-    for unit in units:
-        for rule in file_rules:
-            findings.extend(rule.check_file(unit))
-    project = Project(units)
+
+    files = collect_files(paths)
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    jobs = max(1, min(int(jobs), len(files) or 1))
+
+    files_started = perf_seconds()
+    if jobs == 1:
+        per_file = [
+            _lint_one_file(path, root, file_rules) for path in files
+        ]
+    else:
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            # ``map`` yields in submission order, so the unit list —
+            # and with it every downstream pass — is independent of
+            # worker scheduling.
+            per_file = list(pool.map(
+                lambda path: _lint_one_file(path, root, file_rules),
+                files,
+            ))
+    units = []
+    findings = []
+    suppressions = {}
+    for unit, file_findings, filters in per_file:
+        findings.extend(file_findings)
+        if unit is not None:
+            units.append(unit)
+            suppressions[unit.posix] = filters
+    files_elapsed = perf_seconds() - files_started
+
+    project = Project(units, root=root)
+    per_rule = {}
+    project_started = perf_seconds()
     for rule in project_rules:
+        rule_started = perf_seconds()
         findings.extend(rule.check_project(project))
+        per_rule[rule.name] = round(perf_seconds() - rule_started, 6)
+    project_elapsed = perf_seconds() - project_started
 
     kept, suppressed = [], 0
     for finding in sorted(findings):
@@ -204,6 +345,16 @@ def run_lint(paths, rules=None, baseline_path=None, root=None):
         baseline = load_baseline(baseline_path)
         kept, baselined, stale = apply_baseline(kept, baseline)
 
+    timing_data = None
+    if timings:
+        timing_data = {
+            "total_s": round(perf_seconds() - started, 6),
+            "files_s": round(files_elapsed, 6),
+            "project_s": round(project_elapsed, 6),
+            "per_project_rule_s": per_rule,
+            "jobs": jobs,
+        }
+
     return LintResult(
         findings=kept,
         files=len(units),
@@ -211,4 +362,5 @@ def run_lint(paths, rules=None, baseline_path=None, root=None):
         suppressed=suppressed,
         baselined=baselined,
         stale_baseline_entries=stale,
+        timings=timing_data,
     )

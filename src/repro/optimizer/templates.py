@@ -38,10 +38,10 @@ workload layer's coarser identity (family + ladder bucket, see
 which instances collapse here.
 """
 
-import os
 from dataclasses import dataclass
 
 from .. import obs
+from ..common import knobs
 from .planner import (
     MAX_DP_RELATIONS,
     Planner,
@@ -51,8 +51,6 @@ from .planner import (
 
 TEMPLATES_ENV = "REPRO_PLAN_TEMPLATES"
 
-_DISABLED = {"0", "false", "no", "off"}
-
 
 def templates_enabled(flag=None):
     """Whether the template plan caches are on.
@@ -60,12 +58,7 @@ def templates_enabled(flag=None):
     ``flag`` overrides when given; otherwise ``REPRO_PLAN_TEMPLATES``
     decides (default on, ``0``/``false``/``no``/``off`` disable).
     """
-    if flag is not None:
-        return bool(flag)
-    raw = os.environ.get(TEMPLATES_ENV)
-    if raw is None:
-        return True
-    return raw.strip().lower() not in _DISABLED
+    return knobs.flag(TEMPLATES_ENV, flag)
 
 
 # ----------------------------------------------------------------------

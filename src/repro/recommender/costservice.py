@@ -35,10 +35,10 @@ the recommenders fall back to the plain serial path, and the recommended
 configurations are byte-identical either way (CI enforces this).
 """
 
-import os
 import threading
 
 from .. import obs
+from ..common import knobs
 from ..engine.configuration import (
     content_fingerprint,
     index_content_key,
@@ -55,10 +55,7 @@ def service_enabled(flag=None):
     (case-insensitive) enables it; the default — no environment variable
     at all — is enabled.
     """
-    if flag is not None:
-        return bool(flag)
-    value = os.environ.get(CACHE_ENV, "1").strip().lower()
-    return value not in ("0", "false", "no", "off")
+    return knobs.flag(CACHE_ENV, flag)
 
 
 def query_tables(bound):

@@ -22,6 +22,7 @@ from pathlib import Path
 
 from ..engine.configuration import content_fingerprint
 from ..obs import counter_add as _obs_count
+from ..common import knobs
 from ..obs.clock import perf_seconds
 
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -46,7 +47,7 @@ class ArtifactCache:
 
     def __init__(self, directory=_MISSING):
         if directory is _MISSING:
-            directory = os.environ.get(CACHE_DIR_ENV) or None
+            directory = knobs.text(CACHE_DIR_ENV) or None
         self.directory = Path(directory) if directory else None
         self._memory = {}
         self._lock = threading.Lock()

@@ -22,12 +22,12 @@ the recommender's what-if evaluation loop are thin wrappers over this
 class.
 """
 
-import os
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
 from .. import obs
+from ..common import knobs
 from .artifacts import StageTimings
 
 JOBS_ENV = "REPRO_JOBS"
@@ -46,7 +46,7 @@ def resolve_jobs(jobs=None):
         ValueError: when the argument or env value is not an integer.
     """
     if jobs is None:
-        jobs = os.environ.get(JOBS_ENV, "1")
+        jobs = knobs.text(JOBS_ENV, "1")
     try:
         jobs = int(jobs)
     except (TypeError, ValueError):

@@ -10,14 +10,14 @@ see ``docs/server.md`` for the full table.
 """
 
 import argparse
-import os
 import sys
 
+from ..common import knobs
 from .app import TuningServer
 
 
 def _env(name, default, cast):
-    raw = os.environ.get(name)
+    raw = knobs.text(name)
     if raw is None or raw == "":
         return default
     return cast(raw)

@@ -46,12 +46,12 @@ generation, every query, and every index build across configuration
 changes.
 """
 
-import os
 import threading
 
 import numpy as np
 
 from .. import obs
+from ..common import knobs
 
 CACHE_ENV = "REPRO_DICT_CACHE"
 
@@ -63,10 +63,7 @@ def dict_cache_enabled(flag=None):
     (case-insensitive) enables it; the default — no environment
     variable at all — is enabled.
     """
-    if flag is not None:
-        return bool(flag)
-    value = os.environ.get(CACHE_ENV, "1").strip().lower()
-    return value not in ("0", "false", "no", "off")
+    return knobs.flag(CACHE_ENV, flag)
 
 
 class ColumnDictionary:
@@ -290,10 +287,12 @@ class DictionaryCache:
         with self._lock:
             entry = self._entries.get(key)
         if entry is not None and entry[1].base is values:
-            self.stats.hits += 1
+            with self._lock:
+                self.stats.hits += 1
             obs.counter_add("encoding.dict_hits")
             return entry[1]
-        self.stats.misses += 1
+        with self._lock:
+            self.stats.misses += 1
         runtime = self._sharding
         if runtime is not None and getattr(table, "shards", 1) > 1:
             dictionary = runtime.build_dictionary(table, column)

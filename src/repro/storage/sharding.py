@@ -38,7 +38,6 @@ construction time):
 * ``REPRO_SHARD_JOBS``   — shard worker processes (default 1 = serial).
 """
 
-import os
 import threading
 import weakref
 from concurrent.futures import ProcessPoolExecutor
@@ -48,6 +47,7 @@ from multiprocessing import get_context, shared_memory
 import numpy as np
 
 from .. import obs
+from ..common import knobs
 from ..common.errors import CatalogError
 from .table import Table
 
@@ -76,7 +76,7 @@ def shard_count(value=None):
         ValueError: when the argument or env value is not an integer.
     """
     if value is None:
-        value = os.environ.get(SHARDS_ENV, "0")
+        value = knobs.text(SHARDS_ENV, "0")
     try:
         value = int(value)
     except (TypeError, ValueError):
@@ -91,7 +91,7 @@ def shard_jobs(value=None):
     process pool only exists at 2 and above.
     """
     if value is None:
-        value = os.environ.get(SHARD_JOBS_ENV, "1")
+        value = knobs.text(SHARD_JOBS_ENV, "1")
     try:
         value = int(value)
     except (TypeError, ValueError):
@@ -102,7 +102,7 @@ def shard_jobs(value=None):
 def shard_scheme(value=None):
     """Partitioning scheme: argument, else ``REPRO_SHARD_SCHEME``, else hash."""
     if value is None:
-        value = os.environ.get(SHARD_SCHEME_ENV, "hash")
+        value = knobs.text(SHARD_SCHEME_ENV, "hash")
     value = str(value).strip().lower()
     if value not in SHARD_SCHEMES:
         raise ValueError(

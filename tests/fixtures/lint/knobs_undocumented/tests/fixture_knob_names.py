@@ -1,0 +1,3 @@
+def test_defaults():
+    assert "REPRO_FIX_ALPHA"
+    assert "REPRO_FIX_BETA"

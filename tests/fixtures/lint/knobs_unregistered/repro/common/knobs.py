@@ -1,0 +1,14 @@
+"""Mini registry: only ALPHA is declared; BETA is the violation."""
+
+_REGISTRY = {}
+
+
+def register(name, kind="str", default=None, description=""):
+    _REGISTRY[name] = (kind, default, description)
+
+
+def text(name, default=None):
+    return default
+
+
+register("REPRO_FIX_ALPHA", kind="int", default=1, description="alpha")

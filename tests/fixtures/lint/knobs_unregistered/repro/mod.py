@@ -1,0 +1,11 @@
+"""Reads two knobs through the registry accessor."""
+
+from .common import knobs
+
+
+def alpha():
+    return knobs.text("REPRO_FIX_ALPHA")
+
+
+def beta():
+    return knobs.text("REPRO_FIX_BETA")

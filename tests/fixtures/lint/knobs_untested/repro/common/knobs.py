@@ -1,0 +1,15 @@
+"""Mini registry declaring both fixture knobs."""
+
+_REGISTRY = {}
+
+
+def register(name, kind="str", default=None, description=""):
+    _REGISTRY[name] = (kind, default, description)
+
+
+def text(name, default=None):
+    return default
+
+
+register("REPRO_FIX_ALPHA", kind="int", default=1, description="alpha")
+register("REPRO_FIX_BETA", kind="flag", default=True, description="beta")

@@ -1,0 +1,2 @@
+def test_alpha_default():
+    assert "REPRO_FIX_ALPHA"

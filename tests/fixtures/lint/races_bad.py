@@ -1,0 +1,44 @@
+"""LCK002 positives: executor-reachable writes that miss the lock on
+at least one reaching path."""
+
+import threading
+
+
+class Tally:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.errors = 0
+
+    def record(self):
+        # Submitted directly with no lock anywhere: flagged.
+        self.hits += 1
+
+    def record_some(self, ok):
+        if ok:
+            with self._lock:
+                self.hits += 1
+        else:
+            # The else path writes unlocked: flagged.
+            self.hits += 1
+
+    def _bump_errors(self):
+        # Helper escape: one caller holds the lock, the other does not,
+        # so the interprocedural entry lockset is empty: flagged.
+        self.errors += 1
+
+    def locked_entry(self):
+        with self._lock:
+            self._bump_errors()
+
+    def unlocked_entry(self):
+        self._bump_errors()
+
+
+def drive(pool):
+    tally = Tally()
+    pool.submit(tally.record)
+    pool.submit(tally.record_some, True)
+    pool.submit(tally.locked_entry)
+    pool.submit(tally.unlocked_entry)
+    return tally

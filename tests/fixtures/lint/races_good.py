@@ -1,0 +1,56 @@
+"""LCK002 negatives: every executor-reachable shared write holds the
+class lock — directly, via both branches, or through every caller of a
+helper."""
+
+import threading
+
+
+class Tally:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.errors = 0
+
+    def record(self):
+        with self._lock:
+            self.hits += 1
+
+    def record_some(self, ok):
+        with self._lock:
+            if ok:
+                self.hits += 1
+            else:
+                self.hits += 2
+
+    def _bump_locked(self):
+        # Every caller holds the lock, so the entry lockset credits it.
+        self.errors += 1
+
+    def locked_entry(self):
+        with self._lock:
+            self._bump_locked()
+
+    def other_locked_entry(self):
+        with self._lock:
+            self._bump_locked()
+
+
+class Unshared:
+    """Lock-owning class never handed to an executor: local writes are
+    fine without the lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def bump(self):
+        self.count += 1
+
+
+def drive(pool):
+    tally = Tally()
+    pool.submit(tally.record)
+    pool.submit(tally.record_some, True)
+    pool.submit(tally.locked_entry)
+    pool.submit(tally.other_locked_entry)
+    return tally

@@ -1,0 +1,20 @@
+"""Suppression directives on decorator lines and on the first line of
+multi-line statements must cover the whole statement span."""
+
+import time
+
+
+def noop(fn):
+    return fn
+
+
+@noop  # repro-lint: disable=CLK001
+def decorated():
+    # The finding is on this body line, not the decorator line.
+    return time.perf_counter()
+
+
+values = [  # repro-lint: disable=CLK001
+    time.perf_counter(),
+    time.monotonic(),
+]

@@ -1,0 +1,47 @@
+"""TNT001 positives: clocks, environment reads, ``id()`` and unordered
+iteration flowing into cache keys, fingerprints and report fields."""
+
+import os
+
+from ..obs import perf_seconds
+
+
+def artifact_key(*parts):
+    return "|".join(str(p) for p in parts)
+
+
+def fingerprint(payload):
+    return hash(payload)
+
+
+def clock_into_key(settings):
+    stamp = perf_seconds()
+    return artifact_key(settings, stamp)
+
+
+def env_into_fingerprint():
+    host = os.getenv("HOSTNAME", "")
+    return fingerprint(host)
+
+
+def identity_into_key(obj):
+    return artifact_key(id(obj))
+
+
+class Builder:
+    def __init__(self, cache):
+        self.cache = cache
+
+    def stamp(self):
+        # The taint travels through the helper's return summary.
+        return perf_seconds()
+
+    def build(self, kind):
+        key = self.stamp()
+        return self.cache.put(kind, key)
+
+
+def order_into_report(items):
+    report = {}
+    report["raw"] = list(set(items))
+    return report

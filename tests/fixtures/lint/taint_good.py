@@ -1,0 +1,44 @@
+"""TNT001 negatives: clock reads that stay in observability-land,
+sorted (sanitized) iteration, and deterministic keys."""
+
+import os
+
+from ..obs import perf_seconds
+
+
+def artifact_key(*parts):
+    return "|".join(str(p) for p in parts)
+
+
+def deterministic_key(settings, seed):
+    return artifact_key(settings, seed)
+
+
+def clock_into_log():
+    # Timing a stage is fine: the value never reaches a key, cost,
+    # fingerprint or report field.
+    started = perf_seconds()
+    elapsed = perf_seconds() - started
+    print(elapsed)
+    return None
+
+
+def env_into_plain_call():
+    host = os.getenv("HOSTNAME", "")
+    print(host)
+    return host
+
+
+def sorted_order_into_report(items):
+    report = {}
+    report["ordered"] = sorted(set(items))
+    return report
+
+
+class Builder:
+    def __init__(self, cache):
+        self.cache = cache
+
+    def build(self, kind, seed):
+        key = artifact_key(kind, seed)
+        return self.cache.put(kind, key)

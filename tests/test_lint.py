@@ -116,6 +116,66 @@ def test_schema_sync_rule_negative():
     assert lint(FIXTURES / "schema_good", "SCH001").ok
 
 
+def test_race_rule_positive():
+    result = lint(FIXTURES / "races_bad.py", "LCK002")
+    messages = [f.message for f in result.findings]
+    assert len(messages) == 3
+    # Direct unguarded write in a submitted method.
+    assert any("'self.hits' in Tally.record " in m for m in messages)
+    # One branch locked, one not: the intersection is empty.
+    assert any("Tally.record_some" in m for m in messages)
+    # Helper escape: an unlocked caller drains the entry lockset.
+    assert any("'self.errors' in Tally._bump_errors" in m
+               for m in messages)
+    assert all("Tally._lock" in m for m in messages)
+
+
+def test_race_rule_negative():
+    assert lint(FIXTURES / "races_good.py", "LCK002").ok
+
+
+def test_taint_rule_positive():
+    result = lint(FIXTURES / "taint_bad.py", "TNT001")
+    messages = [f.message for f in result.findings]
+    assert len(messages) == 5
+    assert sum("artifact_key()" in m for m in messages) == 2
+    assert any("fingerprint()" in m for m in messages)
+    # Interprocedural: perf_seconds() through a helper's return value
+    # into a cache put key.
+    assert any("self.cache.put() key" in m for m in messages)
+    # Unordered iteration into a report field.
+    assert any("order taint" in m and "report" in m for m in messages)
+
+
+def test_taint_rule_negative():
+    assert lint(FIXTURES / "taint_good.py", "TNT001").ok
+
+
+def test_knob_rule_unregistered_mode():
+    tree = FIXTURES / "knobs_unregistered"
+    result = run_lint([str(tree / "repro")], rules=["KNB001"],
+                      root=str(tree))
+    assert [f.rule for f in result.findings] == ["KNB001"]
+    assert "REPRO_FIX_BETA is not registered" in result.findings[0].message
+
+
+def test_knob_rule_undocumented_mode():
+    tree = FIXTURES / "knobs_undocumented"
+    result = run_lint([str(tree / "repro")], rules=["KNB001"],
+                      root=str(tree))
+    assert [f.rule for f in result.findings] == ["KNB001"]
+    assert "REPRO_FIX_BETA is not documented" in result.findings[0].message
+
+
+def test_knob_rule_untested_mode():
+    tree = FIXTURES / "knobs_untested"
+    result = run_lint([str(tree / "repro")], rules=["KNB001"],
+                      root=str(tree))
+    assert [f.rule for f in result.findings] == ["KNB001"]
+    assert "REPRO_FIX_BETA is not named in any test" in \
+        result.findings[0].message
+
+
 def test_path_exemptions_in_tree():
     result = lint(FIXTURES / "tree", "RNG001", "CLK001")
     assert len(result.findings) == 2
@@ -131,6 +191,14 @@ def test_suppression_comments_silence_findings():
     result = lint(FIXTURES / "suppressed.py", "RNG001", "CLK001")
     assert result.ok
     assert result.suppressed == 2
+
+
+def test_suppression_spans_cover_decorators_and_multiline_statements():
+    result = lint(FIXTURES / "suppressed_spans.py", "CLK001")
+    assert result.ok
+    # One finding inside the decorated body, two inside the multi-line
+    # list — all covered by directives on the first physical line.
+    assert result.suppressed == 3
 
 
 def test_baseline_round_trip(tmp_path):
@@ -208,6 +276,28 @@ def test_cli_json_output_matches_schema(capsys):
     assert document["findings"][0]["rule"] == "RNG001"
 
 
+def test_cli_sarif_output(capsys):
+    code = lint_main([
+        str(FIXTURES / "rng_bad.py"), "--rule", "RNG001",
+        "--format", "sarif",
+    ])
+    assert code == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["version"] == "2.1.0"
+    assert "sarif-2.1.0" in document["$schema"]
+    run = document["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert rule_ids == {"RNG001"}
+    assert len(run["results"]) == 4
+    for entry in run["results"]:
+        assert entry["ruleId"] == "RNG001"
+        assert entry["level"] == "error"
+        location = entry["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("rng_bad.py")
+        assert location["region"]["startLine"] >= 1
+
+
 def test_cli_unknown_rule_exits_two(capsys):
     assert lint_main([str(FIXTURES / "rng_good.py"), "--rule", "NOPE"]) == 2
     assert "unknown rule" in capsys.readouterr().err
@@ -238,6 +328,81 @@ def test_cli_list_rules(capsys):
     out = capsys.readouterr().out
     for name in ALL_RULES:
         assert name in out
+
+
+# ----------------------------------------------------------------------
+# Parallel runs: any --jobs value produces byte-identical output, and
+# --timings surfaces the phase breakdown without changing findings.
+
+
+FILE_RULES = ["RNG001", "CLK001", "INV001", "LCK001", "EXC001"]
+
+
+def fixture_files():
+    return sorted(str(p) for p in FIXTURES.glob("*.py"))
+
+
+def test_parallel_findings_are_byte_identical():
+    serial = run_lint(fixture_files(), rules=FILE_RULES,
+                      root=str(REPO_ROOT), jobs=1)
+    parallel = run_lint(fixture_files(), rules=FILE_RULES,
+                        root=str(REPO_ROOT), jobs=4)
+    assert json.dumps(serial.to_json(), sort_keys=True) == \
+        json.dumps(parallel.to_json(), sort_keys=True)
+    assert not serial.ok
+
+
+def test_timings_are_reported_and_schema_valid():
+    result = run_lint([str(FIXTURES / "rng_bad.py")], rules=["RNG001"],
+                      root=str(REPO_ROOT), jobs=2, timings=True)
+    assert result.timings is not None
+    assert result.timings["jobs"] == 1  # clamped to the file count
+    assert result.timings["total_s"] >= 0.0
+    document = result.to_json()
+    validate_instance(document, LINT_REPORT_SCHEMA)
+    assert "timings" in document
+
+
+def test_timings_do_not_change_findings():
+    plain = run_lint(fixture_files(), rules=FILE_RULES,
+                     root=str(REPO_ROOT))
+    timed = run_lint(fixture_files(), rules=FILE_RULES,
+                     root=str(REPO_ROOT), timings=True)
+    assert [f.render() for f in plain.findings] == \
+        [f.render() for f in timed.findings]
+
+
+def test_cli_timings_footer(capsys):
+    code = lint_main([
+        str(FIXTURES / "rng_good.py"), "--rule", "RNG001", "--timings",
+    ])
+    assert code == 0
+    assert "timing: total" in capsys.readouterr().out
+
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+except ImportError:  # pragma: no cover - hypothesis is in the image
+    given = None
+
+if given is not None:
+    _REFERENCE = {}
+
+    def reference_findings():
+        if "findings" not in _REFERENCE:
+            result = run_lint(fixture_files(), rules=FILE_RULES,
+                              root=str(REPO_ROOT), jobs=1)
+            _REFERENCE["findings"] = [f.render() for f in result.findings]
+        return _REFERENCE["findings"]
+
+    @settings(max_examples=10, deadline=None)
+    @given(files=st.permutations(fixture_files()), jobs=st.integers(1, 8))
+    def test_findings_independent_of_discovery_order_and_jobs(files, jobs):
+        result = run_lint(list(files), rules=FILE_RULES,
+                          root=str(REPO_ROOT), jobs=jobs)
+        assert [f.render() for f in result.findings] == \
+            reference_findings()
 
 
 # ----------------------------------------------------------------------
@@ -280,6 +445,89 @@ def test_raw_random_under_engine_fails_lint(tmp_path):
     assert {f.rule for f in result.findings} == {"RNG001"}
     assert all(f.path.endswith("engine/sneaky.py")
                for f in result.findings)
+
+
+def test_removing_a_lock_acquire_fails_lint(tmp_path):
+    tree = tmp_path / "repro"
+    shutil.copytree(REPO_ROOT / "src" / "repro", tree)
+    sessions = tree / "server" / "sessions.py"
+    source = sessions.read_text()
+    locked = (
+        "        now = self._clock()\n"
+        "        with self._lock:\n"
+        "            self._sweep_locked(now)\n"
+        "            session = self._sessions.get(session_id)\n"
+        "            if session is None:\n"
+        "                raise UnknownSessionError(session_id)\n"
+        "            session.last_used = now\n"
+        "            self._sessions.move_to_end(session_id)\n"
+        "            return session\n"
+    )
+    assert locked in source
+    unlocked = (
+        "        now = self._clock()\n"
+        "        self._sweep_locked(now)\n"
+        "        session = self._sessions.get(session_id)\n"
+        "        if session is None:\n"
+        "            raise UnknownSessionError(session_id)\n"
+        "        session.last_used = now\n"
+        "        self._sessions.move_to_end(session_id)\n"
+        "        return session\n"
+    )
+    sessions.write_text(source.replace(locked, unlocked))
+    result = run_lint([str(tree)], root=str(tmp_path))
+    assert not result.ok
+    assert {f.rule for f in result.findings} == {"LCK002"}
+    messages = [f.message for f in result.findings]
+    # The direct write in the now-unlocked method, plus the helper it
+    # calls: _sweep_locked loses its all-callers-hold-the-lock credit.
+    assert any("'session.last_used' in SessionStore.get" in m
+               for m in messages)
+    assert any("SessionStore._sweep_locked" in m for m in messages)
+
+
+def test_clock_flow_into_cache_key_fails_lint(tmp_path):
+    tree = tmp_path / "repro"
+    shutil.copytree(REPO_ROOT / "src" / "repro", tree)
+    context = tree / "bench" / "context.py"
+    source = context.read_text()
+    pure = (
+        "    def _key(self, *parts):\n"
+        "        return artifact_key(*self.settings.content_key(), "
+        "*parts)\n"
+    )
+    assert pure in source
+    stamped = (
+        "    def _key(self, *parts):\n"
+        "        stamp = obs.perf_seconds()\n"
+        "        return artifact_key(stamp, "
+        "*self.settings.content_key(), *parts)\n"
+    )
+    context.write_text(source.replace(pure, stamped))
+    result = run_lint([str(tree)], root=str(tmp_path))
+    assert not result.ok
+    assert {f.rule for f in result.findings} == {"TNT001"}
+    # The tainted key spreads interprocedurally to every cache call
+    # that consumes _key's return value.
+    assert any("artifact_key()" in f.message for f in result.findings)
+    assert any("get_or_build() key" in f.message
+               for f in result.findings)
+
+
+def test_unregistered_knob_read_fails_lint(tmp_path):
+    tree = tmp_path / "repro"
+    shutil.copytree(REPO_ROOT / "src" / "repro", tree)
+    sneaky = tree / "engine" / "sneaky_knob.py"
+    sneaky.write_text(
+        "import os\n\nTURBO = os.environ.get(\"REPRO_TURBO\", \"\")\n"
+    )
+    result = run_lint([str(tree)], root=str(tmp_path))
+    assert not result.ok
+    assert {f.rule for f in result.findings} == {"KNB001"}
+    messages = [f.message for f in result.findings]
+    assert any("REPRO_TURBO is read directly from os.environ" in m
+               for m in messages)
+    assert any("REPRO_TURBO is not registered" in m for m in messages)
 
 
 # ----------------------------------------------------------------------
