@@ -1,0 +1,249 @@
+#!/usr/bin/env python3
+"""Perf trajectory of the late-materialization executor
+(``BENCH_latemat.json``).
+
+Runs the fig4 pipeline — System A on NREF3J — and times its
+``measure_workload`` stage (the P/1C/R workload measurements, the
+stage the executor dominates; data generation, statistics, index
+builds, and the recommendation are representation-independent setup
+and stay untimed) once with ``REPRO_LATE_MAT=0`` (eager
+batches: every ``mask``/``take`` copies every carried column, scans
+attach every plan column, filters run the per-predicate ``_compare``
+chain) and once with the default (selection-vector batches, plan-time
+column pruning, fused predicate kernels, scratch-buffer arena).  Each
+mode gets a fresh context, so the deltas isolate the executor's
+materialization strategy.  The script fails unless the two modes
+produce byte-identical figure text and measured cost curves.
+
+Besides wall time, each mode records the ``executor.*`` counters the
+feature introduces: deferred gathers and the payload bytes they
+avoided, pruned scan columns, and fused-kernel builds/hits.
+
+The output file matches :data:`repro.obs.schemas.BENCH_LATEMAT_SCHEMA`
+(prose version in ``docs/performance.md#late-materialization``) and is
+validated before it is written.  CI runs the smoke mode on every push
+and uploads the file as an artifact; the committed
+``results/BENCH_latemat.json`` comes from a full run (see
+``EXPERIMENTS.md`` for the regeneration command).
+
+Usage::
+
+    python benchmarks/bench_perf_latemat.py           # full (~minutes)
+    python benchmarks/bench_perf_latemat.py --smoke   # CI-sized
+    python benchmarks/bench_perf_latemat.py -o out.json --scale 0.1
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import pathlib
+import statistics
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parents[1] / "src"))
+
+from repro import obs                                    # noqa: E402
+from repro.bench.context import (                        # noqa: E402
+    FAMILY_DATASET,
+    BenchContext,
+    BenchSettings,
+)
+from repro.bench.experiments import figure_cfc           # noqa: E402
+from repro.executor.kernels import LATEMAT_ENV           # noqa: E402
+
+FIGURE = "fig4"
+SYSTEM, FAMILY = "A", "NREF3J"
+
+FULL = {"scale": 0.3, "workload_size": 300, "seed": 405, "jobs": 4,
+        "repeat": 3}
+SMOKE = {"scale": 0.05, "workload_size": 10, "seed": 405, "jobs": 1,
+        "repeat": 1}
+
+_COUNTER_KEYS = {
+    "gathers_deferred": "executor.gathers_deferred",
+    "gather_bytes_avoided": "executor.gather_bytes_avoided",
+    "columns_pruned": "executor.columns_pruned",
+    "kernel_builds": "executor.kernel_builds",
+    "kernel_hits": "executor.kernel_hits",
+}
+
+
+def run_mode(settings, optimized, repeat=1):
+    """Timed fig4 pipeline run(s); returns the mode's metrics block.
+
+    A fresh :class:`BenchContext` per iteration keeps artifacts and
+    live databases from leaking between modes and repeats.  The whole
+    fig4 pipeline runs each iteration, but ``wall_seconds`` reports
+    the context's ``measure_workload`` stage — the wall clock of the
+    P/1C/R workload measurements, the one stage whose work the
+    executor's materialization strategy changes.  Data generation,
+    statistics, index builds, and the recommendation are
+    representation-independent setup and stay out of the number (the
+    whatif bench excludes them the same way, by timing only
+    ``recommend``).  With ``repeat > 1``, ``wall_seconds`` is the
+    median with the min/max recorded alongside (counters and
+    fingerprints are deterministic, so the last iteration's stand for
+    all).  The optimized mode runs under the library default (late
+    materialization on); the baseline pins ``REPRO_LATE_MAT=0``.
+    """
+    saved = os.environ.pop(LATEMAT_ENV, None)
+    if not optimized:
+        os.environ[LATEMAT_ENV] = "0"
+    try:
+        walls = []
+        for _ in range(max(repeat, 1)):
+            context = BenchContext(settings)
+            context.database(SYSTEM, FAMILY_DATASET[FAMILY])
+            context.workload(SYSTEM, FAMILY)
+            with obs.recording() as recorder:
+                result = figure_cfc(FIGURE, context)
+            stages = context.timings.snapshot()
+            walls.append(stages["measure_workload"]["seconds"])
+    finally:
+        os.environ.pop(LATEMAT_ENV, None)
+        if saved is not None:
+            os.environ[LATEMAT_ENV] = saved
+    counters = recorder.metrics.snapshot().get("counters", {})
+    mode = {"wall_seconds": round(statistics.median(walls), 4)}
+    if len(walls) > 1:
+        mode["wall_seconds_min"] = round(min(walls), 4)
+        mode["wall_seconds_max"] = round(max(walls), 4)
+    for field, counter in _COUNTER_KEYS.items():
+        mode[field] = int(counters.get(counter, 0))
+    mode["figure_fingerprint"] = hashlib.sha256(
+        str(result).encode("utf-8")
+    ).hexdigest()
+    mode["costs_fingerprint"] = hashlib.sha256(
+        json.dumps(result.data, sort_keys=True, default=repr)
+        .encode("utf-8")
+    ).hexdigest()
+    return mode
+
+
+def run_target(settings, repeat=1):
+    """Baseline + optimized runs of the fig4 target, with ratios."""
+    label = f"{SYSTEM}/{FAMILY}"
+    print(f"[{label}] baseline run (REPRO_LATE_MAT=0) ...", flush=True)
+    baseline = run_mode(settings, optimized=False, repeat=repeat)
+    print(
+        f"[{label}] baseline:  {baseline['wall_seconds']:.2f}s "
+        "(eager batches)", flush=True,
+    )
+    print(f"[{label}] optimized run (default) ...", flush=True)
+    optimized = run_mode(settings, optimized=True, repeat=repeat)
+    print(
+        f"[{label}] optimized: {optimized['wall_seconds']:.2f}s, "
+        f"{optimized['gathers_deferred']} gathers deferred "
+        f"({optimized['gather_bytes_avoided']} bytes avoided), "
+        f"{optimized['columns_pruned']} columns pruned, "
+        f"{optimized['kernel_hits']} kernel hits", flush=True,
+    )
+    identical = (
+        optimized["figure_fingerprint"] == baseline["figure_fingerprint"]
+        and optimized["costs_fingerprint"] == baseline["costs_fingerprint"]
+    )
+    return {
+        "target": label,
+        "system": SYSTEM,
+        "family": FAMILY,
+        "identical": identical,
+        "speedup": round(
+            baseline["wall_seconds"]
+            / max(optimized["wall_seconds"], 1e-9), 3
+        ),
+        "optimized": optimized,
+        "baseline": baseline,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/bench_perf_latemat.py",
+        description="Benchmark the late-materialization executor "
+                    "(fig4 pipeline, REPRO_LATE_MAT on vs off).",
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (tiny scale and workload)")
+    parser.add_argument("-o", "--output", default=None, metavar="FILE",
+                        help="output path "
+                             "(default results/BENCH_latemat.json)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="override the mode's data scale factor")
+    parser.add_argument("--workload-size", type=int, default=None,
+                        help="override the mode's sampled workload size")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the sampling seed")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="override the worker-pool width (both modes)")
+    parser.add_argument("--repeat", type=int, default=None, metavar="N",
+                        help="run each mode N times and report the median "
+                             "wall time (min/max recorded in the JSON); "
+                             "default 3 full, 1 smoke")
+    args = parser.parse_args(argv)
+
+    knobs = dict(SMOKE if args.smoke else FULL)
+    for name in ("scale", "workload_size", "seed", "jobs", "repeat"):
+        value = getattr(args, name)
+        if value is not None:
+            knobs[name] = value
+    if knobs["repeat"] < 1:
+        parser.error("--repeat must be >= 1")
+    settings = BenchSettings(
+        scale=knobs["scale"],
+        workload_size=knobs["workload_size"],
+        seed=knobs["seed"],
+        jobs=knobs["jobs"],
+    )
+
+    mode = "smoke" if args.smoke else "full"
+    run_id = (
+        f"latemat-{mode}-s{knobs['scale']}-w{knobs['workload_size']}"
+        f"-seed{knobs['seed']}-j{knobs['jobs']}"
+    )
+    print(f"run {run_id}", flush=True)
+    document = {
+        "schema": "repro.bench_latemat/v1",
+        "run": {
+            "id": run_id,
+            "smoke": bool(args.smoke),
+            "scale": knobs["scale"],
+            "workload_size": knobs["workload_size"],
+            "seed": knobs["seed"],
+            "jobs": knobs["jobs"],
+        },
+    }
+    if knobs["repeat"] > 1:
+        document["run"]["repeat"] = knobs["repeat"]
+    document["targets"] = [run_target(settings, repeat=knobs["repeat"])]
+    obs.validate_bench_latemat(document)
+
+    output = pathlib.Path(
+        args.output
+        or pathlib.Path(__file__).parents[1] / "results"
+        / "BENCH_latemat.json"
+    )
+    output.parent.mkdir(parents=True, exist_ok=True)
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {output}")
+
+    failed = False
+    for target in document["targets"]:
+        status = "identical" if target["identical"] else "MISMATCH"
+        print(
+            f"{target['target']}: speedup x{target['speedup']}, "
+            f"{target['optimized']['gather_bytes_avoided']} gather bytes "
+            f"avoided, {status}"
+        )
+        failed = failed or not target["identical"]
+    if failed:
+        print("FAILED: optimized and baseline fig4 outputs differ",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

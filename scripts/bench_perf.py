@@ -28,6 +28,7 @@ import cProfile
 import json
 import pathlib
 import pstats
+import statistics
 import sys
 import time
 
@@ -61,30 +62,38 @@ _COUNTER_KEYS = {
 }
 
 
-def run_mode(system_name, family, settings, cached):
-    """One timed recommendation run; returns the mode's metrics block.
+def run_mode(system_name, family, settings, cached, repeat=1):
+    """Timed recommendation run(s); returns the mode's metrics block.
 
     A fresh :class:`BenchContext` per call keeps plan caches, artifact
     caches, and live databases from leaking between modes: every run
     rebuilds its database and workload (untimed) and then times only
-    ``recommend``.
+    ``recommend``.  With ``repeat > 1`` the whole run repeats that many
+    times; ``wall_seconds`` is then the median wall time, with the
+    min/max recorded alongside, so committed numbers stop being
+    single-run point estimates.
     """
-    context = BenchContext(settings)
-    db = context.database(system_name, FAMILY_DATASET[family])
-    workload = context.workload(system_name, family)
-    budget = context.space_budget(db)
-    with obs.recording() as recorder:
-        with MeasurementSession(db, jobs=settings.jobs) as session:
-            recommender = WhatIfRecommender(
-                db, session=session, use_cache=cached
-            )
-            start = time.perf_counter()
-            report = recommender.recommend(
-                workload, budget, name=f"{family}_R"
-            )
-            wall = time.perf_counter() - start
+    walls = []
+    for _ in range(max(repeat, 1)):
+        context = BenchContext(settings)
+        db = context.database(system_name, FAMILY_DATASET[family])
+        workload = context.workload(system_name, family)
+        budget = context.space_budget(db)
+        with obs.recording() as recorder:
+            with MeasurementSession(db, jobs=settings.jobs) as session:
+                recommender = WhatIfRecommender(
+                    db, session=session, use_cache=cached
+                )
+                start = time.perf_counter()
+                report = recommender.recommend(
+                    workload, budget, name=f"{family}_R"
+                )
+                walls.append(time.perf_counter() - start)
     counters = recorder.metrics.snapshot().get("counters", {})
-    mode = {"wall_seconds": round(wall, 4)}
+    mode = {"wall_seconds": round(statistics.median(walls), 4)}
+    if len(walls) > 1:
+        mode["wall_seconds_min"] = round(min(walls), 4)
+        mode["wall_seconds_max"] = round(max(walls), 4)
     for field, counter in _COUNTER_KEYS.items():
         mode[field] = int(counters.get(counter, 0))
     lookups = mode["whatif_cache_hits"] + mode["whatif_cache_misses"]
@@ -95,17 +104,19 @@ def run_mode(system_name, family, settings, cached):
     return mode
 
 
-def run_target(system_name, family, settings):
+def run_target(system_name, family, settings, repeat=1):
     """Cached + uncached runs of one target, with derived ratios."""
     label = f"{system_name}/{family}"
     print(f"[{label}] uncached run ...", flush=True)
-    uncached = run_mode(system_name, family, settings, cached=False)
+    uncached = run_mode(system_name, family, settings, cached=False,
+                        repeat=repeat)
     print(
         f"[{label}] uncached: {uncached['wall_seconds']:.2f}s, "
         f"{uncached['plans_enumerated']} plans", flush=True,
     )
     print(f"[{label}] cached run ...", flush=True)
-    cached = run_mode(system_name, family, settings, cached=True)
+    cached = run_mode(system_name, family, settings, cached=True,
+                      repeat=repeat)
     print(
         f"[{label}] cached:   {cached['wall_seconds']:.2f}s, "
         f"{cached['plans_enumerated']} plans, "
@@ -146,6 +157,10 @@ def main(argv=None):
                         help="override the sampling seed")
     parser.add_argument("--jobs", type=int, default=None,
                         help="override the worker-pool width (both modes)")
+    parser.add_argument("--repeat", type=int, default=1, metavar="N",
+                        help="run each mode N times and report the median "
+                             "wall time (min/max recorded in the JSON); "
+                             "default 1")
     parser.add_argument("--profile", action="store_true",
                         help="cProfile the benchmark runs and print the "
                              "top 25 functions by cumulative AND by "
@@ -157,6 +172,8 @@ def main(argv=None):
     args = parser.parse_args(argv)
     if args.profile_output:
         args.profile = True
+    if args.repeat < 1:
+        parser.error("--repeat must be >= 1")
 
     knobs = dict(SMOKE if args.smoke else FULL)
     for name in ("scale", "workload_size", "seed", "jobs"):
@@ -187,11 +204,13 @@ def main(argv=None):
             "jobs": knobs["jobs"],
         },
     }
+    if args.repeat > 1:
+        document["run"]["repeat"] = args.repeat
     profiler = cProfile.Profile() if args.profile else None
     if profiler is not None:
         profiler.enable()
     document["targets"] = [
-        run_target(system_name, family, settings)
+        run_target(system_name, family, settings, repeat=args.repeat)
         for system_name, family in TARGETS
     ]
     if profiler is not None:

@@ -205,6 +205,12 @@ register(
     "morsel size in rows for morsel-parallel kernels (0 = off; "
     "positive values clamp up to the 1024-row minimum)",
 )
+register(
+    "REPRO_LATE_MAT", "flag", True,
+    "late-materialization executor: selection-vector batches, plan-time "
+    "column pruning, and fused predicate kernels (figures are "
+    "byte-identical either way)",
+)
 
 # Tuning server (python -m repro.server flag fallbacks)
 register("REPRO_SERVER_HOST", "str", "127.0.0.1", "server bind address")

@@ -52,6 +52,7 @@ from ..runtime.cache import BoundedCache, CacheStats
 from ..common.errors import CatalogError, QueryTimeout
 from ..executor.engine import Executor
 from ..executor.morsels import MorselPool
+from ..executor.kernels import KernelCache, late_mat_enabled
 from ..executor.subplan import SubplanCache, subplan_cache_enabled
 from ..index.data import IndexData
 from ..index.definition import estimate_index_size
@@ -172,6 +173,9 @@ class Database:
         )
         self._bind_templates = BindTemplates(self.catalog)
         self._subplan_cache = SubplanCache()
+        # Fused-predicate kernels (REPRO_LATE_MAT): compiled conjunctive
+        # filter callables shared by every executor of this database.
+        self._kernel_cache = KernelCache()
         self._morsels = MorselPool.from_env()
         self._current_fingerprint = None
         # Horizontal partitioning (REPRO_SHARDS; 0 = off).  The shard
@@ -192,7 +196,7 @@ class Database:
         for transient in ("_plan_cache", "_env_cache", "_whatif_cache",
                           "_dict_cache", "_bind_stats",
                           "_template_cache", "_bind_templates",
-                          "_subplan_cache", "_morsels",
+                          "_subplan_cache", "_kernel_cache", "_morsels",
                           "_current_fingerprint", "_bound_cache",
                           "_shards", "_shard_runtime"):
             state.pop(transient, None)
@@ -220,6 +224,7 @@ class Database:
         self._dict_cache.invalidate()
         self._template_cache.invalidate()
         self._subplan_cache.invalidate()
+        self._kernel_cache.invalidate()
         if self._shard_runtime is not None:
             self._shard_runtime.invalidate()
         self._current_fingerprint = None
@@ -244,6 +249,7 @@ class Database:
             "bind_cache": self._bind_stats.snapshot(),
             "template_cache": self._template_cache.stats.snapshot(),
             "subplan_cache": self._subplan_cache.stats.snapshot(),
+            "kernel_cache": self._kernel_cache.stats.snapshot(),
         }
 
     def _dict_encodings(self):
@@ -888,6 +894,9 @@ class Database:
                 subplans=(self._subplan_cache
                           if subplan_cache_enabled() else None),
                 morsels=self._morsels,
+                kernels=(self._kernel_cache
+                         if late_mat_enabled() else None),
+                late=late_mat_enabled(),
             )
             try:
                 outcome = executor.run(plan)

@@ -1,4 +1,5 @@
-"""Execution batches: the materialized output of a physical operator.
+"""Execution batches: the (optionally late-materialized) output of a
+physical operator.
 
 Batches optionally carry per-column *encodings* — lazy references to
 the owning database's cached :class:`~repro.storage.encoding.ColumnDictionary`
@@ -7,13 +8,55 @@ the ``np.unique`` full sort and derive dense codes from the cached
 sorted dictionary instead (``searchsorted`` + a presence scan), with
 byte-identical results.  Columns without an encoding (aggregate
 outputs, derived labels) always take the legacy sort path.
+
+Under ``REPRO_LATE_MAT`` batches are *views*: a lazy batch carries base
+arrays plus per-key ``sels`` selection vectors (int64 row ids into the
+stored array), and ``mask``/``take`` compose selection vectors
+(``sel = sel[positions]``) without touching payload columns.  Values
+are gathered only when an operator actually reads them
+(:meth:`Batch.column`), with dictionary ``codes`` subset lazily in
+lockstep.  With the knob off every batch is eager (``lazy=False``) and
+``mask``/``take`` copy as before.
 """
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
+
 _INT64_MAX = np.iinfo(np.int64).max
+
+
+class _OnesPool:
+    """Shared read-only all-ones float64 array for default weights.
+
+    ``Batch.weight_array`` sits in the aggregate hot loop and used to
+    allocate a fresh ones array per call; every consumer treats the
+    default weights as read-only (bincount inputs, elementwise
+    multiplies), so one shared immutable buffer serves them all.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._ones = np.ones(0, dtype=np.float64)
+        self._ones.setflags(write=False)
+
+    def get(self, n):
+        with self._lock:
+            ones = self._ones
+        if len(ones) < n:
+            ones = np.ones(max(n, 2 * len(ones)), dtype=np.float64)
+            ones.setflags(write=False)
+            with self._lock:
+                if len(ones) > len(self._ones):
+                    self._ones = ones
+            obs.counter_add("executor.ones_allocations")
+        return ones[:n]
+
+
+_ONES = _OnesPool()
 
 
 @dataclass
@@ -21,18 +64,24 @@ class Batch:
     """Columnar intermediate result.
 
     ``columns`` maps batch keys (``"alias.column"`` or output labels) to
-    arrays of equal length.  ``weights`` (optional) carries the row
-    multiplicity introduced by pre-aggregated view rewrites; ``widths``
-    tracks per-key byte widths for spill accounting.  ``encodings``
-    (optional) maps a subset of batch keys to dictionary handles for
-    sort-free factorization; an entry is only valid while the column's
-    values remain drawn from the encoded base column, which every
-    subsetting operation (mask/take) preserves.  ``codes`` (optional)
-    carries the dictionary codes of a further subset of the encoded
-    keys *through* the operators: scans attach the base column's cached
-    codes and mask/take subset them in lockstep with the values, so a
-    downstream join or aggregation factorizes without re-encoding
-    (``codes[key][i]`` is always the dictionary code of
+    arrays; in an eager batch they all have ``rows`` entries, in a lazy
+    batch a key listed in ``sels`` maps to its *base* array and
+    ``sels[key]`` holds the row ids selecting from it.  ``weights``
+    (optional) carries the row multiplicity introduced by
+    pre-aggregated view rewrites; ``widths`` tracks per-key byte widths
+    for spill accounting (and stays complete even when column pruning
+    leaves a key unattached, so cost charges are representation-
+    independent).  ``encodings`` (optional) maps a subset of batch keys
+    to dictionary handles for sort-free factorization; an entry is only
+    valid while the column's values remain drawn from the encoded base
+    column, which every subsetting operation (mask/take) preserves.
+    ``codes`` (optional) carries the dictionary codes of a further
+    subset of the encoded keys *through* the operators: scans attach
+    the base column's cached codes and mask/take subset them in
+    lockstep with the values, so a downstream join or aggregation
+    factorizes without re-encoding (``codes[key]`` is aligned with
+    ``columns[key]`` under the same ``sels`` entry, so after gathering,
+    ``codes[key][i]`` is always the dictionary code of
     ``columns[key][i]``).
     """
 
@@ -41,9 +90,14 @@ class Batch:
     weights: np.ndarray = None
     encodings: dict = field(default_factory=dict)
     codes: dict = field(default_factory=dict)
+    sels: dict = field(default_factory=dict)
+    lazy: bool = False
+    length: int = None
 
     @property
     def rows(self):
+        if self.length is not None:
+            return self.length
         if not self.columns:
             return 0
         return len(next(iter(self.columns.values())))
@@ -54,28 +108,122 @@ class Batch:
 
     def mask(self, keep):
         """A new batch with rows where ``keep`` is True."""
-        return Batch(
-            columns={k: v[keep] for k, v in self.columns.items()},
-            widths=dict(self.widths),
-            weights=None if self.weights is None else self.weights[keep],
-            encodings=dict(self.encodings),
-            codes={k: v[keep] for k, v in self.codes.items()},
-        )
+        if not self.lazy:
+            return Batch(
+                columns={k: v[keep] for k, v in self.columns.items()},
+                widths=dict(self.widths),
+                weights=None if self.weights is None else self.weights[keep],
+                encodings=dict(self.encodings),
+                codes={k: v[keep] for k, v in self.codes.items()},
+            )
+        return self._select(np.flatnonzero(keep), keep=keep)
 
     def take(self, positions):
         """A new batch gathered at integer positions (with repetition)."""
+        if not self.lazy:
+            return Batch(
+                columns={k: v[positions] for k, v in self.columns.items()},
+                widths=dict(self.widths),
+                weights=(
+                    None if self.weights is None else self.weights[positions]
+                ),
+                encodings=dict(self.encodings),
+                codes={k: v[positions] for k, v in self.codes.items()},
+            )
+        return self._select(np.asarray(positions, dtype=np.int64))
+
+    def _select(self, positions, keep=None):
+        """Compose ``positions`` into every selection vector, copying
+        nothing but the vectors themselves (and eager weights)."""
+        composed = {}
+        sels = {}
+        deferred = 0
+        avoided = 0
+        out_rows = len(positions)
+        for key in self.columns:
+            sel = self.sels.get(key)
+            if sel is None:
+                sels[key] = positions
+            else:
+                new = composed.get(id(sel))
+                if new is None:
+                    new = sel[positions]
+                    composed[id(sel)] = new
+                sels[key] = new
+            deferred += 1
+            avoided += out_rows * self.widths.get(key, 8)
+        if deferred:
+            obs.counter_add("executor.gathers_deferred", deferred)
+            obs.counter_add("executor.gather_bytes_avoided", avoided)
+        if self.weights is None:
+            weights = None
+        elif keep is not None:
+            weights = self.weights[keep]
+        else:
+            weights = self.weights[positions]
         return Batch(
-            columns={k: v[positions] for k, v in self.columns.items()},
+            columns=dict(self.columns),
             widths=dict(self.widths),
-            weights=None if self.weights is None else self.weights[positions],
+            weights=weights,
             encodings=dict(self.encodings),
-            codes={k: v[positions] for k, v in self.codes.items()},
+            codes=dict(self.codes),
+            sels=sels,
+            lazy=True,
+            length=out_rows,
         )
 
+    def selected(self, key):
+        """Does ``key`` still sit behind an ungathered selection vector?"""
+        return key in self.sels
+
+    def column(self, key):
+        """The materialized values of ``key``, gathering (memoized) if a
+        selection vector is pending; codes gather in lockstep."""
+        sel = self.sels.get(key)
+        values = self.columns[key]
+        if sel is None:
+            return values
+        values = values[sel]
+        self.columns[key] = values
+        carried = self.codes.get(key)
+        if carried is not None:
+            self.codes[key] = carried[sel]
+        del self.sels[key]
+        return values
+
+    def gather(self, key, positions):
+        """Values of ``key`` at row ``positions`` without materializing
+        the whole column (aggregate outputs read one value per group)."""
+        sel = self.sels.get(key)
+        values = self.columns[key]
+        if sel is None:
+            return values[positions]
+        return values[sel[positions]]
+
+    def carried_codes(self, key):
+        """The carried dictionary codes of ``key`` aligned to this
+        batch's rows, or ``None``; never memoizes (a values/codes pair
+        must only be cached together, in :meth:`column`)."""
+        carried = self.codes.get(key)
+        if carried is None:
+            return None
+        sel = self.sels.get(key)
+        if sel is None:
+            return carried
+        return carried[sel]
+
+    def materialize(self):
+        """Gather every pending column in place; the result has plain
+        equal-length arrays like an eager batch."""
+        for key in list(self.sels):
+            self.column(key)
+        self.lazy = False
+        return self
+
     def weight_array(self):
-        """Weights as floats, defaulting to all-ones."""
+        """Weights as floats, defaulting to a shared read-only ones view."""
         if self.weights is None:
-            return np.ones(self.rows, dtype=np.float64)
+            return _ONES.get(self.rows)
         return self.weights.astype(np.float64)
 
 

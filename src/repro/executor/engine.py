@@ -43,7 +43,14 @@ from ..optimizer.plans import (
 )
 from ..storage.sharding import ShardedTable, ValueCountSketch
 from ..views.matview import COUNT_COLUMN
-from .batch import Batch, combine_codes, factorize, join_codes
+from .batch import (
+    Batch,
+    _resolve_encoding,
+    combine_codes,
+    factorize,
+    join_codes,
+)
+from .kernels import ScratchArena
 
 MAX_MATERIALIZED_ROWS = 8_000_000
 
@@ -74,7 +81,8 @@ class Executor:
     """Executes plans over built tables, indexes, and views."""
 
     def __init__(self, tables, hardware, timeout=None, encodings=None,
-                 sharding=None, subplans=None, morsels=None):
+                 sharding=None, subplans=None, morsels=None,
+                 kernels=None, late=False):
         self._tables = tables
         self._hw = hardware
         self._timeout = timeout
@@ -93,6 +101,17 @@ class Executor:
         # Optional MorselPool: filter/membership/probe kernels split
         # into fixed-size row ranges on a thread pool.  None = inline.
         self._morsels = morsels
+        # Optional KernelCache: conjunctive filter lists compile into
+        # one cached callable reused across templated queries.
+        self._kernels = kernels
+        # Late materialization (REPRO_LATE_MAT): batches are selection-
+        # vector views, scans prune unconsumed columns, and operator
+        # temporaries come from a per-executor scratch arena.  The
+        # virtual clock charges by logical row counts and full widths,
+        # so figures are byte-identical with the knob on or off.
+        self._late = bool(late)
+        self._arena = ScratchArena() if self._late else None
+        self._required = None
         # Carrying codes needs both the dictionaries and the subplan
         # layer (the knob that gates cross-operator reuse).
         self._carry = encodings is not None and subplans is not None
@@ -106,8 +125,12 @@ class Executor:
         """
         if self._carry:
             self._code_keys = _code_keys_of(plan)
+        self._required = _required_keys(plan) if self._late else None
         clock = VirtualClock(self._timeout)
         batch = self._exec(plan, clock)
+        # Consumers (QueryResult.rows, figure code, tests) read
+        # batch.columns as plain equal-length arrays.
+        batch.materialize()
         return ExecutionResult(batch=batch, elapsed=clock.elapsed, plan=plan)
 
     # ------------------------------------------------------------------
@@ -142,6 +165,12 @@ class Executor:
                     k: child.codes[k]
                     for k in node.keys if k in child.codes
                 },
+                sels={
+                    k: child.sels[k]
+                    for k in node.keys if k in child.sels
+                },
+                lazy=child.lazy,
+                length=child.rows if child.lazy else None,
             )
         raise ExecutionError(f"no executor for node {type(node).__name__}")
 
@@ -154,17 +183,73 @@ class Executor:
         except KeyError:
             raise ExecutionError(f"table {name!r} is not loaded") from None
 
+    def _attached(self, alias, columns):
+        """The subset of a scan's columns some operator consumes.
+
+        Column pruning only drops the *attachment* — ``widths`` always
+        covers every plan column, so ``row_width`` (and through it the
+        cost charges) never depends on what was attached.
+        """
+        if self._required is None:
+            return columns
+        attach = [c for c in columns if f"{alias}.{c}" in self._required]
+        if len(attach) < len(columns):
+            obs.counter_add(
+                "executor.columns_pruned", len(columns) - len(attach)
+            )
+        return attach
+
     def _base_batch(self, alias, table, columns):
         widths = {
             f"{alias}.{c}": table.schema.column(c).width for c in columns
         }
+        attach = self._attached(alias, columns)
         return Batch(
             columns={
-                f"{alias}.{c}": table.column(c) for c in columns
+                f"{alias}.{c}": table.column(c) for c in attach
             },
             widths=widths,
-            encodings=self._column_handles(alias, table, columns),
-            codes=self._carried_codes(alias, table, columns),
+            encodings=self._column_handles(alias, table, attach),
+            codes=self._carried_codes(alias, table, attach),
+            lazy=self._late,
+            length=table.row_count if self._late else None,
+        )
+
+    def _probe_batch(self, alias, table, columns, row_ids):
+        """A batch of the heap rows an index probe matched.
+
+        Eager mode gathers copies (``table.take``); late mode attaches
+        the base arrays behind one shared ``row_ids`` selection vector,
+        with carried dictionary codes left ungathered in lockstep.
+        """
+        widths = {
+            f"{alias}.{c}": table.schema.column(c).width for c in columns
+        }
+        attach = self._attached(alias, columns)
+        if self._late:
+            sel = np.asarray(row_ids, dtype=np.int64)
+            cols = {f"{alias}.{c}": table.column(c) for c in attach}
+            if cols:
+                obs.counter_add("executor.gathers_deferred", len(cols))
+                obs.counter_add(
+                    "executor.gather_bytes_avoided",
+                    len(sel) * sum(widths[k] for k in cols),
+                )
+            return Batch(
+                columns=cols,
+                widths=widths,
+                encodings=self._column_handles(alias, table, attach),
+                codes=self._carried_codes(alias, table, attach),
+                sels={key: sel for key in cols},
+                lazy=True,
+                length=len(sel),
+            )
+        gathered = table.take(row_ids, attach)
+        return Batch(
+            columns={f"{alias}.{c}": gathered[c] for c in attach},
+            widths=widths,
+            encodings=self._column_handles(alias, table, attach),
+            codes=self._carried_codes(alias, table, attach, row_ids),
         )
 
     def _column_handles(self, alias, table, columns):
@@ -210,22 +295,36 @@ class Executor:
             keep = self._subplans.filter_mask(
                 (table.name, tuple(specs)),
                 tuple(batch.columns[flt.key] for flt in filters),
-                lambda: self._filter_keep(batch, filters),
+                lambda: self._filter_keep(batch, filters, table),
             )
         else:
-            keep = self._filter_keep(batch, filters)
+            keep = self._filter_keep(batch, filters, table)
         return batch.mask(keep)
 
-    def _filter_keep(self, batch, filters):
+    def _filter_keep(self, batch, filters, table=None):
         """The conjunctive keep-mask of ``filters`` over ``batch``.
 
-        With a morsel pool and a batch over the morsel size, each
-        fixed-size row range evaluates on the pool and the per-morsel
-        masks concatenate in morsel order — byte-identical to the
-        single-shot evaluation.
+        With a :class:`~repro.executor.kernels.KernelCache` attached,
+        the filter list compiles into one fused callable (cached by
+        table and filter structure, literals bound per call); otherwise
+        the per-filter ``_compare`` chain runs as before — the masks
+        are identical.  With a morsel pool and a batch over the morsel
+        size, each fixed-size row range evaluates on the pool and the
+        per-morsel masks concatenate in morsel order — byte-identical
+        to the single-shot evaluation.
         """
         rows = batch.rows
-        arrays = [batch.columns[flt.key] for flt in filters]
+        arrays = [batch.column(flt.key) for flt in filters]
+        if self._kernels is not None:
+            fused = self._kernels.fused_filter(
+                table.name if table is not None else None, filters
+            )
+            values = [flt.value for flt in filters]
+            if self._morsels is not None and rows > self._morsels.rows:
+                return self._morsels.map_concat(
+                    lambda lo, hi: fused(arrays, values, lo, hi), rows
+                )
+            return fused(arrays, values, 0, rows)
         if self._morsels is not None and rows > self._morsels.rows:
             def kernel(lo, hi):
                 keep = np.ones(hi - lo, dtype=bool)
@@ -246,7 +345,10 @@ class Executor:
         equivalent to the elementwise mask when the batch columns *are*
         the table's full storage arrays.  Identity is checked per
         filter key; any already-masked batch, view column, or computed
-        column routes back to the elementwise path.
+        column routes back to the elementwise path.  A lazy batch with
+        a pending selection vector on the key fails the same way: the
+        base array is still attached, but it no longer stands for the
+        full table.
         """
         if table is None or not filters:
             return None
@@ -256,7 +358,9 @@ class Executor:
             if not flt.key.startswith(prefix):
                 return None
             name = flt.key[len(prefix):]
-            if batch.columns[flt.key] is not table.column(name):
+            if batch.selected(flt.key):
+                return None
+            if batch.columns.get(flt.key) is not table.column(name):
                 return None
             specs.append((name, flt.op, flt.value))
         return specs
@@ -274,13 +378,15 @@ class Executor:
             name = semi.key[len(prefix):] if semi.key.startswith(prefix) \
                 else None
             if (sharded and name is not None
-                    and batch.columns[semi.key] is table.column(name)):
+                    and not batch.selected(semi.key)
+                    and batch.columns.get(semi.key) is table.column(name)):
                 # The identity check only passes for an unfiltered base
-                # batch; after a mask the columns are subset copies and
-                # later semis take the elementwise path.
+                # batch; after a mask the columns are subset copies (or
+                # sit behind a selection vector) and later semis take
+                # the elementwise path.
                 keep = self._sharding.isin_mask(table, name, allowed)
             else:
-                keep = self._isin(batch.columns[semi.key], allowed)
+                keep = self._isin(batch.column(semi.key), allowed)
             batch = batch.mask(keep)
         return batch
 
@@ -427,22 +533,8 @@ class Executor:
                         table.row_count,
                     )
                 )
-            columns = table.take(row_ids, node.columns)
-            widths = {
-                f"{node.alias}.{c}": table.schema.column(c).width
-                for c in node.columns
-            }
-            batch = Batch(
-                columns={
-                    f"{node.alias}.{c}": columns[c] for c in node.columns
-                },
-                widths=widths,
-                encodings=self._column_handles(
-                    node.alias, table, node.columns
-                ),
-                codes=self._carried_codes(
-                    node.alias, table, node.columns, row_ids
-                ),
+            batch = self._probe_batch(
+                node.alias, table, node.columns, row_ids
             )
         else:
             # Covering full index-only scan.
@@ -488,21 +580,7 @@ class Executor:
         )
         _guard_materialization(matched)
         (row_ids, _), __ = info.data.probe_many(allowed)
-        columns = table.take(row_ids, node.columns)
-        widths = {
-            f"{node.alias}.{c}": table.schema.column(c).width
-            for c in node.columns
-        }
-        batch = Batch(
-            columns={
-                f"{node.alias}.{c}": columns[c] for c in node.columns
-            },
-            widths=widths,
-            encodings=self._column_handles(node.alias, table, node.columns),
-            codes=self._carried_codes(
-                node.alias, table, node.columns, row_ids
-            ),
-        )
+        batch = self._probe_batch(node.alias, table, node.columns, row_ids)
         batch = self._apply_filters(batch, node.residual_filters, clock)
         batch = self._apply_semis(batch, node.semi_filters, clock)
         return batch
@@ -519,9 +597,14 @@ class Executor:
         obs.counter_add("engine.pages_read", view.page_count)
         schema = table.schema
         columns, widths, encodings, codes = {}, {}, {}, {}
+        pruned = 0
         for batch_key, view_col in node.column_map.items():
-            columns[batch_key] = table.column(view_col)
             widths[batch_key] = schema.column(view_col).width
+            if self._required is not None \
+                    and batch_key not in self._required:
+                pruned += 1
+                continue
+            columns[batch_key] = table.column(view_col)
             if self._encodings is not None:
                 encodings[batch_key] = self._encodings.handle(
                     table, view_col
@@ -531,16 +614,22 @@ class Executor:
                     table, view_col
                 ).codes
                 obs.counter_add("subplan.codes_carried")
+        if pruned:
+            obs.counter_add("executor.columns_pruned", pruned)
         weights = table.column(COUNT_COLUMN).astype(np.float64)
         batch = Batch(
             columns=columns, widths=widths, weights=weights,
             encodings=encodings, codes=codes,
+            lazy=self._late, length=view.rows if self._late else None,
         )
         if node.filters:
             clock.charge(
                 cm.filter_rows(self._hw, batch.rows, len(node.filters))
             )
-            keep = np.ones(batch.rows, dtype=bool)
+            if self._arena is not None:
+                keep = self._arena.bools(batch.rows, fill=True)
+            else:
+                keep = np.ones(batch.rows, dtype=bool)
             for flt in node.filters:
                 values = table.column(flt.column)
                 keep &= _compare(values, flt.op, flt.value)
@@ -557,21 +646,32 @@ class Executor:
         clock.charge(cm.hash_build(self._hw, right.rows, right.row_width))
         clock.charge(cm.hash_probe(self._hw, left.rows))
 
+        lencs = [left.encodings.get(k) for k in node.left_keys]
+        rencs = [right.encodings.get(k) for k in node.right_keys]
+        lcarr = [left.carried_codes(k) for k in node.left_keys]
+        rcarr = [right.carried_codes(k) for k in node.right_keys]
+        larrs, rarrs = [], []
+        for pos, (lk, rk) in enumerate(zip(node.left_keys,
+                                           node.right_keys)):
+            paired = (
+                lcarr[pos] is not None and rcarr[pos] is not None
+                and _resolve_encoding(lencs[pos]) is not None
+                and _resolve_encoding(rencs[pos]) is not None
+            )
+            if paired and self._late:
+                # The merged-dictionary path never touches values when
+                # both sides carry codes — skip gathering them at all.
+                larrs.append(None)
+                rarrs.append(None)
+            else:
+                larrs.append(left.column(lk))
+                rarrs.append(right.column(rk))
         lcodes, rcodes = join_codes(
-            [left.columns[k] for k in node.left_keys],
-            [right.columns[k] for k in node.right_keys],
-            left_encodings=[
-                left.encodings.get(k) for k in node.left_keys
-            ],
-            right_encodings=[
-                right.encodings.get(k) for k in node.right_keys
-            ],
-            left_carried=[
-                left.codes.get(k) for k in node.left_keys
-            ],
-            right_carried=[
-                right.codes.get(k) for k in node.right_keys
-            ],
+            larrs, rarrs,
+            left_encodings=lencs,
+            right_encodings=rencs,
+            left_carried=lcarr,
+            right_carried=rcarr,
             domains=self._subplans,
         )
         order = np.argsort(rcodes, kind="stable")
@@ -584,7 +684,10 @@ class Executor:
             # pair below; the prefix table is bounded by the total row
             # count because the codes are dense.
             domain = int(max(int(lcodes.max()), int(rcodes.max()))) + 1
-            starts_table = np.zeros(domain + 1, dtype=np.int64)
+            if self._arena is not None:
+                starts_table = self._arena.ints(domain + 1, fill=0)
+            else:
+                starts_table = np.zeros(domain + 1, dtype=np.int64)
             np.cumsum(
                 np.bincount(rcodes, minlength=domain), out=starts_table[1:]
             )
@@ -627,9 +730,17 @@ class Executor:
         weights = None
         if left.weights is not None or right.weights is not None:
             weights = lbatch.weight_array() * rbatch.weight_array()
+        # Batch keys are alias-qualified, so the two sides' selection
+        # vectors merge without collisions; each key keeps composing
+        # against its own side's base arrays.
+        sels = dict(lbatch.sels)
+        sels.update(rbatch.sels)
+        lazy = lbatch.lazy or rbatch.lazy
         return Batch(
             columns=columns, widths=widths, weights=weights,
             encodings=encodings, codes=codes,
+            sels=sels, lazy=lazy,
+            length=lbatch.rows if lazy else None,
         )
 
     def _gather(self, source, indices):
@@ -659,7 +770,7 @@ class Executor:
             raise ExecutionError(
                 f"index {info.definition.name} is hypothetical; cannot run"
             )
-        probes = outer.columns[node.outer_key]
+        probes = outer.column(node.outer_key)
         counts = info.data.count_many(probes)
         matched = int(counts.sum())
         obs.counter_add("engine.index_probes", len(probes))
@@ -688,24 +799,51 @@ class Executor:
 
         (row_ids, probe_idx), _ = info.data.probe_many(probes)
         obatch = outer.take(probe_idx)
-        inner_cols = table.take(row_ids, node.columns)
+        attach = self._attached(node.alias, node.columns)
         columns = dict(obatch.columns)
         widths = dict(obatch.widths)
         encodings = dict(obatch.encodings)
         encodings.update(
-            self._column_handles(node.alias, table, node.columns)
+            self._column_handles(node.alias, table, attach)
         )
         codes = dict(obatch.codes)
-        codes.update(
-            self._carried_codes(node.alias, table, node.columns, row_ids)
-        )
         for col in node.columns:
-            columns[f"{node.alias}.{col}"] = inner_cols[col]
             widths[f"{node.alias}.{col}"] = table.schema.column(col).width
-        batch = Batch(
-            columns=columns, widths=widths, weights=obatch.weights,
-            encodings=encodings, codes=codes,
-        )
+        if self._late:
+            # Inner columns attach as base arrays behind the probe's
+            # row_ids selection vector; carried codes stay ungathered
+            # under the same vector.
+            sel = np.asarray(row_ids, dtype=np.int64)
+            sels = dict(obatch.sels)
+            codes.update(self._carried_codes(node.alias, table, attach))
+            for col in attach:
+                key = f"{node.alias}.{col}"
+                columns[key] = table.column(col)
+                sels[key] = sel
+            if attach:
+                obs.counter_add("executor.gathers_deferred", len(attach))
+                obs.counter_add(
+                    "executor.gather_bytes_avoided",
+                    len(sel) * sum(
+                        widths[f"{node.alias}.{c}"] for c in attach
+                    ),
+                )
+            batch = Batch(
+                columns=columns, widths=widths, weights=obatch.weights,
+                encodings=encodings, codes=codes,
+                sels=sels, lazy=True, length=obatch.rows,
+            )
+        else:
+            inner_cols = table.take(row_ids, attach)
+            codes.update(
+                self._carried_codes(node.alias, table, attach, row_ids)
+            )
+            for col in attach:
+                columns[f"{node.alias}.{col}"] = inner_cols[col]
+            batch = Batch(
+                columns=columns, widths=widths, weights=obatch.weights,
+                encodings=encodings, codes=codes,
+            )
 
         extra = getattr(node, "extra_preds", [])
         if extra:
@@ -713,8 +851,8 @@ class Executor:
             keep = np.ones(batch.rows, dtype=bool)
             for outer_key, inner_col in extra:
                 keep &= (
-                    batch.columns[outer_key]
-                    == batch.columns[f"{node.alias}.{inner_col}"]
+                    batch.column(outer_key)
+                    == batch.column(f"{node.alias}.{inner_col}")
                 )
             batch = batch.mask(keep)
         batch = self._apply_filters(batch, node.residual_filters, clock)
@@ -731,10 +869,7 @@ class Executor:
         if node.group_keys:
             codes = combine_codes(
                 [
-                    factorize(
-                        child.columns[k], child.encodings.get(k),
-                        child.codes.get(k),
-                    )
+                    factorize(*self._factor_inputs(child, k))
                     for k in node.group_keys
                 ]
             )
@@ -767,7 +902,9 @@ class Executor:
         else:
             firsts = np.empty(0, dtype=np.int64)
         for key in node.group_keys:
-            columns[key] = child.columns[key][firsts]
+            # One value per group: gather through any pending selection
+            # vector instead of materializing the whole column.
+            columns[key] = child.gather(key, firsts)
             widths[key] = child.widths[key]
 
         wts = child.weight_array()
@@ -779,13 +916,14 @@ class Executor:
                 )[:n_groups] if rows else np.empty(0)
                 columns[label] = np.round(values).astype(np.int64)
             elif agg.func == "count" and agg.distinct:
+                arg_values, arg_enc, arg_carried = self._factor_inputs(
+                    child, str(agg.arg)
+                )
                 columns[label] = self._count_distinct(
-                    codes, child.columns[str(agg.arg)], n_groups,
-                    child.encodings.get(str(agg.arg)),
-                    child.codes.get(str(agg.arg)),
+                    codes, arg_values, n_groups, arg_enc, arg_carried,
                 )
             elif agg.func in ("sum", "avg"):
-                arg = child.columns[str(agg.arg)].astype(np.float64)
+                arg = child.column(str(agg.arg)).astype(np.float64)
                 sums = np.bincount(
                     codes, weights=arg * wts, minlength=max(n_groups, 1)
                 )[:n_groups] if rows else np.empty(0)
@@ -798,7 +936,7 @@ class Executor:
                     columns[label] = sums / np.maximum(cnt, 1)
             elif agg.func in ("min", "max"):
                 columns[label] = self._min_max(
-                    codes, child.columns[str(agg.arg)], n_groups, agg.func
+                    codes, child.column(str(agg.arg)), n_groups, agg.func
                 )
             else:
                 raise ExecutionError(f"unsupported aggregate {agg.func!r}")
@@ -810,6 +948,21 @@ class Executor:
                 for k in node.group_keys if k in child.encodings
             },
         )
+
+    def _factor_inputs(self, batch, key):
+        """``(values, encoding, carried)`` for :func:`factorize`.
+
+        When carried dictionary codes and a dictionary are both
+        available, factorization never touches the values, so a lazy
+        column can stay ungathered (``values=None``); a key without
+        that fast path gathers through :meth:`Batch.column` as usual.
+        """
+        encoding = batch.encodings.get(key)
+        carried = batch.carried_codes(key)
+        if carried is not None and _resolve_encoding(encoding) is not None:
+            values = None if batch.selected(key) else batch.columns[key]
+            return values, encoding, carried
+        return batch.column(key), encoding, carried
 
     def _count_distinct(self, codes, values, n_groups, encoding=None,
                         carried=None):
@@ -872,6 +1025,60 @@ def _code_keys_of(plan):
             stack.append(node.child)
         elif isinstance(node, IndexNLJoin):
             stack.append(node.outer)
+    return frozenset(keys)
+
+
+def _required_keys(plan):
+    """Batch keys any operator in the plan actually consumes.
+
+    The column-pruning pass: scans only attach columns whose key shows
+    up here (filter keys, semi/join keys, aggregate inputs, output
+    labels).  Pruning is only sound when the root emits an explicit key
+    list (Project or HashAggregate) and every node type is known;
+    anything else returns ``None`` and scans attach everything.
+    Widths are never pruned, so cost charges are unaffected.
+    """
+    if not isinstance(plan, (Project, HashAggregate)):
+        return None
+    keys = set()
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, SeqScan):
+            keys.update(f.key for f in node.filters)
+            keys.update(s.key for s in node.semi_filters)
+        elif isinstance(node, IndexScan):
+            keys.update(f.key for f in node.residual_filters)
+            keys.update(s.key for s in node.semi_filters)
+        elif isinstance(node, SemiIndexScan):
+            keys.update(f.key for f in node.residual_filters)
+            keys.update(s.key for s in node.semi_filters)
+        elif isinstance(node, ViewScan):
+            pass  # view filters read the view's table directly
+        elif isinstance(node, HashJoin):
+            keys.update(node.left_keys)
+            keys.update(node.right_keys)
+            stack.append(node.left)
+            stack.append(node.right)
+        elif isinstance(node, IndexNLJoin):
+            keys.add(node.outer_key)
+            keys.update(f.key for f in node.residual_filters)
+            keys.update(s.key for s in node.semi_filters)
+            for outer_key, inner_col in getattr(node, "extra_preds", []):
+                keys.add(outer_key)
+                keys.add(f"{node.alias}.{inner_col}")
+            stack.append(node.outer)
+        elif isinstance(node, HashAggregate):
+            keys.update(node.group_keys)
+            for agg in node.aggregates:
+                if agg.arg is not None:
+                    keys.add(str(agg.arg))
+            stack.append(node.child)
+        elif isinstance(node, Project):
+            keys.update(node.keys)
+            stack.append(node.child)
+        else:
+            return None
     return frozenset(keys)
 
 

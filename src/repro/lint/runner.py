@@ -20,6 +20,7 @@ recorded via :func:`repro.obs.perf_seconds` and exposed when
 
 import ast
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
@@ -30,6 +31,13 @@ from .rules import ALL_RULES
 from .suppress import parse_suppressions
 
 PARSE_RULE = "PARSE"
+
+#: CPython 3.11 keeps the AST constructor's recursion-depth accounting in
+#: interpreter-global state, so concurrent ``ast.parse`` calls from threads
+#: at different stack depths can die with ``SystemError: AST constructor
+#: recursion depth mismatch``.  Parsing is a small slice of lint time (the
+#: rule traversals dominate and stay parallel), so serialize it.
+_AST_PARSE_LOCK = threading.Lock()
 
 LINT_REPORT_SCHEMA_ID = "repro.lint/v1"
 
@@ -243,7 +251,8 @@ def _lint_one_file(file_path, root, file_rules):
     try:
         with open(file_path, "r", encoding="utf-8") as handle:
             source = handle.read()
-        tree = ast.parse(source, filename=file_path)
+        with _AST_PARSE_LOCK:
+            tree = ast.parse(source, filename=file_path)
     except (OSError, SyntaxError, ValueError) as err:
         finding = Finding(
             path=rel.replace("\\", "/"),

@@ -50,6 +50,7 @@ from .report import (
 )
 from .schemas import (
     BENCH_ENCODING_SCHEMA,
+    BENCH_LATEMAT_SCHEMA,
     BENCH_MULTIQUERY_SCHEMA,
     BENCH_SHARDING_SCHEMA,
     BENCH_WHATIF_SCHEMA,
@@ -58,6 +59,7 @@ from .schemas import (
     SPAN_RECORD_SCHEMA,
     SchemaError,
     validate_bench_encoding,
+    validate_bench_latemat,
     validate_bench_multiquery,
     validate_bench_sharding,
     validate_bench_whatif,
@@ -68,6 +70,7 @@ from .spans import Span
 
 __all__ = [
     "BENCH_ENCODING_SCHEMA",
+    "BENCH_LATEMAT_SCHEMA",
     "BENCH_MULTIQUERY_SCHEMA",
     "BENCH_SHARDING_SCHEMA",
     "BENCH_WHATIF_SCHEMA",
@@ -95,6 +98,7 @@ __all__ = [
     "render_text",
     "span",
     "validate_bench_encoding",
+    "validate_bench_latemat",
     "validate_bench_multiquery",
     "validate_bench_sharding",
     "validate_bench_whatif",

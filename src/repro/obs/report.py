@@ -188,6 +188,9 @@ def render_text(report):
         subplan = caches.get("subplan_cache")
         if subplan and subplan["hits"] + subplan["misses"]:
             line += f", subplan cache rate {subplan['hit_rate']:.2f}"
+        kernels = caches.get("kernel_cache")
+        if kernels and kernels["hits"] + kernels["misses"]:
+            line += f", kernel cache rate {kernels['hit_rate']:.2f}"
         lines.append(line)
     shards = report["run"].get("shards", 0)
     if shards:

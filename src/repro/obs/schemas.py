@@ -238,6 +238,10 @@ _WHATIF_MODE_SCHEMA = {
                  "whatif_cache_hit_rate"],
     "properties": {
         "wall_seconds": {"type": "number", "minimum": 0},
+        # Present when the bench ran with --repeat N (N > 1):
+        # wall_seconds is then the median of N runs.
+        "wall_seconds_min": {"type": "number", "minimum": 0},
+        "wall_seconds_max": {"type": "number", "minimum": 0},
         "what_if_calls": {"type": "integer", "minimum": 0},
         "plans_enumerated": {"type": "integer", "minimum": 0},
         "env_builds": {"type": "integer", "minimum": 0},
@@ -267,6 +271,8 @@ BENCH_WHATIF_SCHEMA = {
                 "workload_size": {"type": "integer", "minimum": 1},
                 "seed": {"type": "integer"},
                 "jobs": {"type": "integer", "minimum": 1},
+                # Optional: wall times are the median of this many runs.
+                "repeat": {"type": "integer", "minimum": 1},
             },
             "additionalProperties": False,
         },
@@ -518,3 +524,80 @@ BENCH_MULTIQUERY_SCHEMA = {
 def validate_bench_multiquery(document, path="$"):
     """Validate a decoded ``BENCH_multiquery.json`` document."""
     return validate_instance(document, BENCH_MULTIQUERY_SCHEMA, path)
+
+
+# ----------------------------------------------------------------------
+# Late-materialization perf benchmark (BENCH_latemat.json, written by
+# benchmarks/bench_perf_latemat.py; prose version in
+# docs/performance.md#late-materialization).
+
+_LATEMAT_MODE_SCHEMA = {
+    "type": "object",
+    "required": ["wall_seconds", "gathers_deferred",
+                 "gather_bytes_avoided", "columns_pruned",
+                 "kernel_builds", "kernel_hits", "figure_fingerprint",
+                 "costs_fingerprint"],
+    "properties": {
+        "wall_seconds": {"type": "number", "minimum": 0},
+        # Present when the bench ran with --repeat N (N > 1):
+        # wall_seconds is then the median of N runs.
+        "wall_seconds_min": {"type": "number", "minimum": 0},
+        "wall_seconds_max": {"type": "number", "minimum": 0},
+        "gathers_deferred": {"type": "integer", "minimum": 0},
+        "gather_bytes_avoided": {"type": "integer", "minimum": 0},
+        "columns_pruned": {"type": "integer", "minimum": 0},
+        "kernel_builds": {"type": "integer", "minimum": 0},
+        "kernel_hits": {"type": "integer", "minimum": 0},
+        "figure_fingerprint": {"type": "string"},
+        "costs_fingerprint": {"type": "string"},
+    },
+    "additionalProperties": False,
+}
+
+BENCH_LATEMAT_SCHEMA = {
+    "type": "object",
+    "required": ["schema", "run", "targets"],
+    "properties": {
+        "schema": {"enum": ["repro.bench_latemat/v1"]},
+        "run": {
+            "type": "object",
+            "required": ["id", "smoke", "scale", "workload_size", "seed",
+                         "jobs"],
+            "properties": {
+                "id": {"type": "string"},
+                "smoke": {"type": "boolean"},
+                "scale": {"type": "number"},
+                "workload_size": {"type": "integer", "minimum": 1},
+                "seed": {"type": "integer"},
+                "jobs": {"type": "integer", "minimum": 1},
+                # Optional: wall times are the median of this many runs.
+                "repeat": {"type": "integer", "minimum": 1},
+            },
+            "additionalProperties": False,
+        },
+        "targets": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["target", "system", "family", "identical",
+                             "speedup", "optimized", "baseline"],
+                "properties": {
+                    "target": {"type": "string"},
+                    "system": {"type": "string"},
+                    "family": {"type": "string"},
+                    "identical": {"type": "boolean"},
+                    "speedup": {"type": "number", "minimum": 0},
+                    "optimized": _LATEMAT_MODE_SCHEMA,
+                    "baseline": _LATEMAT_MODE_SCHEMA,
+                },
+                "additionalProperties": False,
+            },
+        },
+    },
+    "additionalProperties": False,
+}
+
+
+def validate_bench_latemat(document, path="$"):
+    """Validate a decoded ``BENCH_latemat.json`` document."""
+    return validate_instance(document, BENCH_LATEMAT_SCHEMA, path)

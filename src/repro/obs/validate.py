@@ -21,6 +21,7 @@ import sys
 from .schemas import (
     SchemaError,
     validate_bench_encoding,
+    validate_bench_latemat,
     validate_bench_multiquery,
     validate_bench_sharding,
     validate_bench_whatif,
@@ -170,6 +171,28 @@ def validate_bench_multiquery_file(path):
     return document
 
 
+def validate_bench_latemat_file(path):
+    """Validate a ``BENCH_latemat.json`` perf-trajectory file.
+
+    Args:
+        path: benchmark file written by
+            ``benchmarks/bench_perf_latemat.py``.
+
+    Returns:
+        The decoded (and valid) benchmark dict.
+
+    Raises:
+        SchemaError: when the document violates the benchmark schema.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as err:
+            raise SchemaError(f"{path}: not valid JSON ({err})") from None
+    validate_bench_latemat(document, path=path)
+    return document
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.validate",
@@ -190,14 +213,18 @@ def main(argv=None):
     parser.add_argument("--bench-multiquery", default=None, metavar="FILE",
                         help="BENCH_multiquery.json perf benchmark to "
                              "validate")
+    parser.add_argument("--bench-latemat", default=None, metavar="FILE",
+                        help="BENCH_latemat.json perf benchmark to "
+                             "validate")
     args = parser.parse_args(argv)
     if args.trace is None and args.report is None \
             and args.bench_whatif is None and args.bench_encoding is None \
             and args.bench_sharding is None \
-            and args.bench_multiquery is None:
+            and args.bench_multiquery is None \
+            and args.bench_latemat is None:
         parser.error("nothing to validate: pass --trace, --report, "
-                     "--bench-whatif, --bench-encoding, --bench-sharding "
-                     "and/or --bench-multiquery")
+                     "--bench-whatif, --bench-encoding, --bench-sharding, "
+                     "--bench-multiquery and/or --bench-latemat")
     try:
         if args.trace is not None:
             spans, events = validate_trace_file(args.trace)
@@ -224,6 +251,10 @@ def main(argv=None):
             document = validate_bench_multiquery_file(args.bench_multiquery)
             print(f"bench OK: {len(document['targets'])} targets "
                   f"({args.bench_multiquery})")
+        if args.bench_latemat is not None:
+            document = validate_bench_latemat_file(args.bench_latemat)
+            print(f"bench OK: {len(document['targets'])} targets "
+                  f"({args.bench_latemat})")
     except SchemaError as err:
         print(f"validation FAILED: {err}", file=sys.stderr)
         return 1

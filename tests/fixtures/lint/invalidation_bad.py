@@ -67,7 +67,28 @@ class TemplatedDatabase:
         self._subplan_cache.invalidate()
 
 
+class KernelDatabase:
+    """Hand-clearing the fused-kernel cache is not invalidate_caches."""
+
+    def __init__(self):
+        self.tables = {}
+        self._kernel_cache = KernelCache()
+
+    def invalidate_caches(self):
+        self._plan_cache = {}
+        self._kernel_cache.invalidate()
+
+    def append(self, name, rows):
+        self.tables[name].extend(rows)
+        self._kernel_cache.invalidate()
+
+
 class ShardRuntime:
+    def invalidate(self):
+        pass
+
+
+class KernelCache:
     def invalidate(self):
         pass
 

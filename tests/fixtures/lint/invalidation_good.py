@@ -83,12 +83,33 @@ class TemplatedDatabase:
         self.invalidate_caches()
 
 
+class KernelDatabase:
+    """Fused-kernel cache invalidated through invalidate_caches."""
+
+    def __init__(self):
+        self.tables = {}
+        self._kernel_cache = KernelCache()
+
+    def invalidate_caches(self):
+        self._plan_cache = {}
+        self._kernel_cache.invalidate()
+
+    def append(self, name, rows):
+        self.tables[name].extend(rows)
+        self.invalidate_caches()
+
+
 class TemplateCache:
     def invalidate(self):
         pass
 
 
 class SubplanCache:
+    def invalidate(self):
+        pass
+
+
+class KernelCache:
     def invalidate(self):
         pass
 

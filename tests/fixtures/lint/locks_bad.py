@@ -68,3 +68,19 @@ class MorselPool:
 
         return [f.result() for f in
                 [self._executor.submit(run, sl) for sl in slices]]
+
+
+class KernelCache:
+    """Fused-filter cache whose hit accounting misses the lock."""
+
+    def __init__(self, pool):
+        self._pool = pool
+        self.hit_count = 0
+
+    def warm(self, shapes):
+        def compile_shape(shape):
+            kernel = tuple(shape)
+            self.hit_count += 1
+            return kernel
+
+        return [self._pool.submit(compile_shape, s) for s in shapes]

@@ -64,6 +64,24 @@ class JobRunner:
         return job
 
 
+class KernelCache:
+    """Fused-filter cache: hit accounting lock-guarded, kernels local."""
+
+    def __init__(self, pool):
+        self._pool = pool
+        self._lock = threading.Lock()
+        self.hit_count = 0
+
+    def warm(self, shapes):
+        def compile_shape(shape):
+            kernel = tuple(shape)
+            with self._lock:
+                self.hit_count += 1
+            return kernel
+
+        return [self._pool.submit(compile_shape, s) for s in shapes]
+
+
 class MorselPool:
     """Morsel workers: accounting lock-guarded, results local."""
 

@@ -35,10 +35,25 @@ class Tally:
         self._bump_errors()
 
 
+class Arena:
+    """Scratch-buffer pool handed to the executor: the reuse counter
+    write never takes the lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.reuses = 0
+
+    def borrow(self, n):
+        self.reuses += 1
+        return n
+
+
 def drive(pool):
     tally = Tally()
     pool.submit(tally.record)
     pool.submit(tally.record_some, True)
     pool.submit(tally.locked_entry)
     pool.submit(tally.unlocked_entry)
-    return tally
+    arena = Arena()
+    pool.submit(arena.borrow, 8)
+    return tally, arena

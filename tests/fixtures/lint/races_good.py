@@ -47,10 +47,26 @@ class Unshared:
         self.count += 1
 
 
+class Arena:
+    """Scratch-buffer pool handed to the executor: the reuse counter
+    write holds the lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.reuses = 0
+
+    def borrow(self, n):
+        with self._lock:
+            self.reuses += 1
+        return n
+
+
 def drive(pool):
     tally = Tally()
     pool.submit(tally.record)
     pool.submit(tally.record_some, True)
     pool.submit(tally.locked_entry)
     pool.submit(tally.other_locked_entry)
-    return tally
+    arena = Arena()
+    pool.submit(arena.borrow, 8)
+    return tally, arena

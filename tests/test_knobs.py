@@ -33,6 +33,7 @@ EXPECTED_KNOBS = {
     "REPRO_SHARD_SCHEME": "str",
     "REPRO_SHARD_JOBS": "int",
     "REPRO_MORSEL_ROWS": "int",
+    "REPRO_LATE_MAT": "flag",
     # tuning server
     "REPRO_SERVER_HOST": "str",
     "REPRO_SERVER_PORT": "int",
@@ -118,6 +119,7 @@ def test_is_registered():
     assert knobs.is_registered("REPRO_PLAN_TEMPLATES")
     assert knobs.is_registered("REPRO_SUBPLAN_CACHE")
     assert knobs.is_registered("REPRO_SHARD_JOBS")
+    assert knobs.is_registered("REPRO_LATE_MAT")
     assert not knobs.is_registered("REPRO_UNHEARD_OF")
 
 

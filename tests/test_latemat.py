@@ -1,0 +1,332 @@
+"""Late-materialization executor: selection-vector batches, plan-time
+column pruning, fused predicate kernels, and the ``REPRO_LATE_MAT``
+byte-identity contract (same results, same virtual costs, either way)."""
+
+import numpy as np
+
+from repro import obs
+from repro.common import knobs
+from repro.engine.configuration import primary_configuration
+from repro.executor.batch import Batch
+from repro.executor.engine import Executor
+from repro.executor.kernels import (
+    KernelCache,
+    LATEMAT_ENV,
+    ScratchArena,
+    late_mat_enabled,
+)
+from repro.optimizer.plans import ScanFilter
+
+
+def make_lazy_batch(n=10):
+    return Batch(
+        columns={
+            "t.a": np.arange(n, dtype=np.int64),
+            "t.b": np.arange(n, dtype=np.int64) * 10,
+        },
+        widths={"t.a": 8, "t.b": 8},
+        lazy=True,
+        length=n,
+    )
+
+
+def test_knob_registered_and_default_on(monkeypatch):
+    assert knobs.is_registered(LATEMAT_ENV)
+    monkeypatch.delenv(LATEMAT_ENV, raising=False)
+    assert late_mat_enabled()
+    monkeypatch.setenv(LATEMAT_ENV, "0")
+    assert not late_mat_enabled()
+
+
+# ----------------------------------------------------------------------
+# Selection-vector batches
+
+def test_lazy_mask_defers_gather():
+    batch = make_lazy_batch(10)
+    base_a = batch.columns["t.a"]
+    keep = np.array([True, False] * 5)
+    masked = batch.mask(keep)
+    # The payload array is untouched: same base object, sel pending.
+    assert masked.columns["t.a"] is base_a
+    assert masked.selected("t.a") and masked.selected("t.b")
+    assert masked.rows == 5
+    # Reading the column gathers — and only then drops the sel.
+    assert masked.column("t.a").tolist() == [0, 2, 4, 6, 8]
+    assert not masked.selected("t.a")
+    assert masked.selected("t.b")
+
+
+def test_sel_composition_mask_then_take():
+    batch = make_lazy_batch(10)
+    masked = batch.mask(np.array([True, False] * 5))   # rows 0,2,4,6,8
+    taken = masked.take(np.array([4, 4, 0]))           # rows 8,8,0
+    assert taken.rows == 3
+    assert taken.columns["t.a"] is batch.columns["t.a"]
+    assert taken.column("t.a").tolist() == [8, 8, 0]
+    assert taken.column("t.b").tolist() == [80, 80, 0]
+
+
+def test_column_gather_is_memoized():
+    batch = make_lazy_batch(8).mask(np.arange(8) % 2 == 0)
+    first = batch.column("t.a")
+    second = batch.column("t.a")
+    assert first is second
+
+
+def test_codes_gather_in_lockstep_with_values():
+    batch = make_lazy_batch(8)
+    batch.codes["t.a"] = np.arange(8, dtype=np.int64) + 100
+    masked = batch.mask(np.arange(8) % 2 == 0)
+    # Before any read the carried codes are still the base array.
+    assert masked.codes["t.a"][0] == 100 and len(masked.codes["t.a"]) == 8
+    masked.column("t.a")
+    assert masked.codes["t.a"].tolist() == [100, 102, 104, 106]
+
+
+def test_gather_counters_emitted():
+    batch = make_lazy_batch(10)
+    with obs.recording() as recorder:
+        batch.mask(np.array([True] * 4 + [False] * 6))
+    counters = recorder.metrics.snapshot().get("counters", {})
+    assert counters.get("executor.gathers_deferred") == 2
+    # 4 surviving rows x 8 bytes x 2 deferred columns.
+    assert counters.get("executor.gather_bytes_avoided") == 64
+
+
+def test_materialize_gathers_everything():
+    batch = make_lazy_batch(6).mask(np.arange(6) < 3)
+    out = batch.materialize()
+    assert out is batch and not out.lazy and not out.sels
+    assert out.columns["t.a"].tolist() == [0, 1, 2]
+
+
+def test_row_width_counts_all_plan_columns():
+    """Pruned/unread columns still contribute to ``row_width`` — the
+    cost model must see the representation-independent tuple width."""
+    batch = Batch(
+        columns={"t.a": np.arange(4, dtype=np.int64)},
+        widths={"t.a": 8, "t.unattached": 24},
+        lazy=True,
+        length=4,
+    )
+    assert batch.row_width == 8 + 24 + 8  # + weight slot
+
+
+# ----------------------------------------------------------------------
+# Shared-ones weights (the weight_array allocation fix)
+
+def test_weight_array_shared_ones_regression():
+    a, b = make_lazy_batch(32), make_lazy_batch(32)
+    with obs.recording() as recorder:
+        first = a.weight_array()
+        second = b.weight_array()
+    assert first.tolist() == [1.0] * 32
+    # Same pooled buffer, handed out read-only — not a fresh np.ones
+    # per call (the counter would grow once per batch otherwise).
+    assert np.shares_memory(first, second)
+    assert not first.flags.writeable
+    counters = recorder.metrics.snapshot().get("counters", {})
+    assert counters.get("executor.ones_allocations", 0) <= 1
+
+
+def test_weight_array_copies_explicit_weights():
+    batch = make_lazy_batch(4)
+    batch.weights = np.array([2.0, 3.0, 4.0, 5.0])
+    out = batch.weight_array()
+    assert out.tolist() == [2.0, 3.0, 4.0, 5.0]
+    assert out is not batch.weights and out.flags.writeable
+
+
+# ----------------------------------------------------------------------
+# Fused predicate kernels
+
+def test_fused_kernel_reused_across_literals():
+    cache = KernelCache()
+    shape_a = [ScanFilter("t.a", "a", ">", 2), ScanFilter("t.b", "b", "<=", 60)]
+    shape_b = [ScanFilter("t.a", "a", ">", 5), ScanFilter("t.b", "b", "<=", 90)]
+    with obs.recording() as recorder:
+        k1 = cache.fused_filter("t", shape_a)
+        k2 = cache.fused_filter("t", shape_b)
+    # Same (table, filter-structure) key: literals bind at call time.
+    assert k1 is k2
+    counters = recorder.metrics.snapshot().get("counters", {})
+    assert counters.get("executor.kernel_builds") == 1
+    assert counters.get("executor.kernel_hits") == 1
+
+    a = np.arange(10, dtype=np.int64)
+    b = a * 10
+    keep = k1([a, b], [2, 60], 0, 10)
+    assert keep.tolist() == ((a > 2) & (b <= 60)).tolist()
+    keep = k1([a, b], [5, 90], 3, 10)
+    assert keep.tolist() == ((a[3:] > 5) & (b[3:] <= 90)).tolist()
+
+
+def test_fused_kernel_distinct_structure_compiles_again():
+    cache = KernelCache()
+    cache.fused_filter("t", [ScanFilter("t.a", "a", "=", 1)])
+    cache.fused_filter("t", [ScanFilter("t.a", "a", "<", 1)])
+    cache.fused_filter("u", [ScanFilter("u.a", "a", "=", 1)])
+    snapshot = cache.stats.snapshot()
+    assert snapshot["misses"] == 3 and snapshot["hits"] == 0
+
+
+def test_kernel_cache_invalidate():
+    cache = KernelCache()
+    filters = [ScanFilter("t.a", "a", "=", 1)]
+    cache.fused_filter("t", filters)
+    cache.invalidate()
+    cache.fused_filter("t", filters)
+    assert cache.stats.snapshot()["misses"] == 2
+
+
+def test_scratch_arena_reuses_buffers():
+    arena = ScratchArena()
+    with obs.recording() as recorder:
+        first = arena.bools(100, fill=True)
+        assert first.all() and len(first) == 100
+        second = arena.bools(40, fill=False)
+        assert not second.any() and len(second) == 40
+        ints = arena.ints(50, fill=0)
+        assert not ints.any() and len(ints) == 50
+    counters = recorder.metrics.snapshot().get("counters", {})
+    # Second bools() request fits the grown buffer: reuse, not alloc.
+    assert counters.get("executor.arena_allocations") == 2
+    assert counters.get("executor.arena_reuses") == 1
+
+
+# ----------------------------------------------------------------------
+# Identity fast-path routing (_identity_specs edge cases)
+
+def make_executor(db):
+    return Executor(db.tables, db.system.hardware, late=True)
+
+
+def base_batch(table, alias, columns, lazy=False):
+    return Batch(
+        columns={f"{alias}.{c}": table.column(c) for c in columns},
+        widths={f"{alias}.{c}": 8 for c in columns},
+        lazy=lazy,
+        length=table.row_count if lazy else None,
+    )
+
+
+def test_identity_specs_full_base_batch(city_db):
+    executor = make_executor(city_db)
+    users = city_db.table("users")
+    batch = base_batch(users, "u", ["age", "city"])
+    filters = [ScanFilter("u.age", "age", "=", 30)]
+    specs = executor._identity_specs(batch, filters, users, "u")
+    assert specs == [("age", "=", 30)]
+
+
+def test_identity_specs_rejects_masked_batch(city_db):
+    executor = make_executor(city_db)
+    users = city_db.table("users")
+    batch = base_batch(users, "u", ["age"])
+    masked = batch.mask(np.zeros(batch.rows, dtype=bool) | True)
+    # Even an all-true eager mask copies the arrays: identity is gone.
+    filters = [ScanFilter("u.age", "age", "=", 30)]
+    assert executor._identity_specs(masked, filters, users, "u") is None
+
+
+def test_identity_specs_rejects_pending_selection(city_db):
+    executor = make_executor(city_db)
+    users = city_db.table("users")
+    batch = base_batch(users, "u", ["age"], lazy=True)
+    masked = batch.mask(np.ones(batch.rows, dtype=bool))
+    # The base array is still attached, but a sel is pending: the
+    # batch no longer stands for the full table.
+    assert masked.columns["u.age"] is users.column("age")
+    filters = [ScanFilter("u.age", "age", "=", 30)]
+    assert executor._identity_specs(masked, filters, users, "u") is None
+
+
+def test_identity_specs_rejects_computed_column(city_db):
+    executor = make_executor(city_db)
+    users = city_db.table("users")
+    batch = base_batch(users, "u", ["age"])
+    # A renamed/computed/view-backed column: equal values, different
+    # array — never the table's storage, so no shard/subplan shortcut.
+    batch.columns["u.age"] = users.column("age").copy()
+    filters = [ScanFilter("u.age", "age", "=", 30)]
+    assert executor._identity_specs(batch, filters, users, "u") is None
+
+
+def test_identity_specs_rejects_foreign_alias(city_db):
+    executor = make_executor(city_db)
+    users = city_db.table("users")
+    batch = base_batch(users, "u", ["age"])
+    batch.columns["o.uid"] = users.column("uid")
+    filters = [
+        ScanFilter("u.age", "age", "=", 30),
+        ScanFilter("o.uid", "uid", "=", 5),
+    ]
+    assert executor._identity_specs(batch, filters, users, "u") is None
+
+
+# ----------------------------------------------------------------------
+# End-to-end: the knob changes the representation, never the answer
+
+IDENTITY_SQLS = (
+    "SELECT u.city, COUNT(*) FROM users u WHERE u.age = 30 GROUP BY u.city",
+    "SELECT u.city, COUNT(*) FROM users u, orders o "
+    "WHERE u.uid = o.uid AND u.age = 30 GROUP BY u.city",
+    "SELECT o.amount, COUNT(*) FROM orders o WHERE o.oid = 5 "
+    "GROUP BY o.amount",
+    "SELECT u.city, COUNT(DISTINCT u.age) FROM users u GROUP BY u.city",
+)
+
+
+def run_all(db):
+    out = []
+    for sql in IDENTITY_SQLS:
+        result = db.execute(sql)
+        out.append((sorted(result.rows()), result.elapsed))
+    return out
+
+
+def test_database_identical_with_knob_off(city_db, monkeypatch):
+    city_db.apply_configuration(primary_configuration(city_db.catalog))
+    monkeypatch.delenv(LATEMAT_ENV, raising=False)
+    late = run_all(city_db)
+    city_db.invalidate_caches()
+    monkeypatch.setenv(LATEMAT_ENV, "0")
+    eager = run_all(city_db)
+    # Same rows AND the same virtual-clock costs: the knob swaps the
+    # physical representation only.
+    assert late == eager
+
+
+def test_columns_pruned_on_index_scan(city_db, monkeypatch):
+    city_db.apply_configuration(primary_configuration(city_db.catalog))
+    monkeypatch.delenv(LATEMAT_ENV, raising=False)
+    sql = (
+        "SELECT o.amount, COUNT(*) FROM orders o WHERE o.oid = 5 "
+        "GROUP BY o.amount"
+    )
+    with obs.recording() as recorder:
+        result = city_db.execute(sql)
+    counters = recorder.metrics.snapshot().get("counters", {})
+    # The oid prefix key is resolved by the index descend; the scan
+    # never needs the column and the pruning pass drops it.
+    assert counters.get("executor.columns_pruned", 0) >= 1
+    assert sorted(result.rows()) == [
+        (amount, 1) for amount in sorted(
+            a for a, o in zip(
+                city_db.table("orders").column("amount"),
+                city_db.table("orders").column("oid"),
+            ) if o == 5
+        )
+    ]
+
+
+def test_deferred_gathers_on_filter_query(city_db, monkeypatch):
+    city_db.apply_configuration(primary_configuration(city_db.catalog))
+    monkeypatch.delenv(LATEMAT_ENV, raising=False)
+    with obs.recording() as recorder:
+        city_db.execute(IDENTITY_SQLS[0])
+    counters = recorder.metrics.snapshot().get("counters", {})
+    assert counters.get("executor.gathers_deferred", 0) > 0
+    assert counters.get("executor.gather_bytes_avoided", 0) > 0
+    assert counters.get("executor.kernel_builds", 0) \
+        + counters.get("executor.kernel_hits", 0) > 0
